@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Explore the generational configuration space (Section 6.1).
+
+Sweeps nursery/probation/persistent proportions and promotion
+thresholds for one benchmark, then isolates the paper's second
+observation — the link between probation size and promotion threshold:
+as the probation cache shrinks, the threshold that performs best
+shrinks with it (with a too-high threshold, long-lived traces are
+evicted from probation before they qualify for promotion).
+
+Run:
+    python examples/config_sweep.py [benchmark]
+"""
+
+import sys
+
+from repro.experiments.base import render_table
+from repro.experiments.sweep import probation_threshold_link, run
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "excel"
+    scale = 4.0  # keep the sweep snappy
+    print(render_table(run(benchmark=benchmark, scale_multiplier=scale)))
+    print()
+    print(render_table(
+        probation_threshold_link(benchmark=benchmark, scale_multiplier=scale)
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Drive the full dynamic-optimizer pipeline on an interactive app.
+
+Unlike the quickstart (which uses the calibrated log synthesizer), this
+example runs the complete substrate the way DynamoRIO runs a process:
+
+  synthetic program --(execution engine)--> block events
+                --(DynOptRuntime)--> basic-block cache, trace heads,
+                                     NET superblocks, verbose trace log
+
+The program models a document-tool session: a startup phase, a
+persistent core the UI keeps re-entering, and per-phase plugin DLLs
+that load, run and unload — each unload forcing immediate deletion of
+its traces from the code cache (Section 3.4).
+
+Run:
+    python examples/interactive_session.py
+"""
+
+from repro import (
+    BEST_CONFIG,
+    GenerationalCacheManager,
+    UnifiedCacheManager,
+    get_profile,
+    simulate_log,
+)
+from repro.metrics.lifetimes import BUCKET_LABELS, lifetime_histogram
+from repro.tracelog.stats import summarize_log
+from repro.units import format_bytes, format_percent
+from repro.workloads.generator import build_program
+from repro.runtime.system import record_session
+
+
+def main() -> None:
+    profile = get_profile("winzip")
+    program, script = build_program(profile, seed=2024)
+    print(f"program: {len(program.blocks)} basic blocks across "
+          f"{len(program.modules)} modules "
+          f"({sum(1 for m in program.modules.values() if m.unloadable)} "
+          "unloadable DLLs)")
+
+    log = record_session(program, script, seed=2024)
+    stats = summarize_log(log)
+    print(f"recorded log: {stats.n_traces} traces, "
+          f"{format_bytes(stats.total_trace_bytes)}, "
+          f"{stats.n_accesses} trace entries, {stats.n_unmaps} DLL unmaps")
+    print(f"unmapped code: {format_percent(stats.unmapped_fraction)} "
+          "of generated trace bytes (Figure 4's metric)")
+
+    histogram = lifetime_histogram(log)
+    print("\ntrace lifetimes (Figure 6's buckets):")
+    for label, value in zip(BUCKET_LABELS, histogram.fractions):
+        bar = "#" * int(value / 2)
+        print(f"  {label:>8s}  {value:5.1f}%  {bar}")
+    print(f"  U-shaped: {histogram.is_u_shaped}")
+
+    capacity = max(4096, stats.total_trace_bytes // 2)
+    unified = simulate_log(log, UnifiedCacheManager(capacity))
+    generational = simulate_log(
+        log, GenerationalCacheManager(capacity, BEST_CONFIG)
+    )
+    print(f"\nreplay at {format_bytes(capacity)} total cache:")
+    print(f"  unified      miss rate {format_percent(unified.miss_rate)}")
+    print(f"  generational miss rate {format_percent(generational.miss_rate)} "
+          f"(hits by cache: {generational.stats.hits_by_cache})")
+
+
+if __name__ == "__main__":
+    main()

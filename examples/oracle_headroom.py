@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""How close do generational caches get to clairvoyance?
+
+Two extension studies beyond the paper:
+
+1. **Capacity sensitivity** — sweep the total cache budget from 12.5%
+   to 100% of the unbounded footprint.  Management matters most in the
+   middle: at tiny budgets everything thrashes, at full budget nothing
+   does ("it is these very benchmarks for which cache management is
+   least critical").
+2. **Oracle headroom** — compare the unified FIFO baseline and the
+   generational hierarchy against a Belady-style oracle that evicts
+   the trace with the farthest next use.  The oracle needs the future,
+   so it is a bound, not a design; the interesting number is how much
+   of the FIFO-to-oracle gap the (implementable!) generational design
+   recovers.
+
+Run:
+    python examples/oracle_headroom.py [benchmark]
+"""
+
+import sys
+
+from repro.experiments.base import render_table
+from repro.experiments.capacity import run as run_capacity
+from repro.experiments.headroom import run as run_headroom
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "word"
+    scale = 8.0
+    print(render_table(run_capacity(benchmark=benchmark, scale_multiplier=scale)))
+    print()
+    subset = list(dict.fromkeys([benchmark, "gzip", "art"]))
+    print(render_table(run_headroom(subset=subset, scale_multiplier=scale)))
+    print()
+    print("reading: GapClosedPct = (unified - generational) / (unified - oracle);")
+    print("100% would mean the generational hierarchy matched clairvoyance.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed editable (``pip install -e .``) on
+environments whose setuptools/pip stack predates full PEP 660 support
+(no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

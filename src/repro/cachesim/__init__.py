@@ -1,0 +1,20 @@
+"""Trace-driven code-cache simulation.
+
+The arena models a code cache's address range at byte granularity —
+placements, holes, fragmentation — and the simulator replays a trace
+log against a cache manager, producing the hit/miss/eviction statistics
+the paper's evaluation is built on.
+"""
+
+from repro.cachesim.arena import Arena, Placement
+from repro.cachesim.stats import CacheStats, SimulationResult
+from repro.cachesim.simulator import CacheSimulator, simulate_log
+
+__all__ = [
+    "Arena",
+    "CacheSimulator",
+    "CacheStats",
+    "Placement",
+    "SimulationResult",
+    "simulate_log",
+]

@@ -1,0 +1,155 @@
+"""Command-line interface.
+
+Examples::
+
+    repro-gencache list                      # show the benchmark catalog
+    repro-gencache run figure-9 --quick      # regenerate one figure
+    repro-gencache run all --scale 8         # everything, scaled down
+    repro-gencache sweep word                # Section 6.1 sweep
+    repro-gencache record gzip out.log       # synthesize + save a log
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.base import render_table
+from repro.experiments.dataset import quick_subset
+from repro.experiments.runner import (
+    ALL_EXPERIMENT_IDS,
+    EXTENSION_EXPERIMENT_IDS,
+    render_all,
+    run_all,
+)
+from repro.experiments import sweep as sweep_module
+from repro.tracelog.binary import write_binary_log
+from repro.tracelog.writer import write_log
+from repro.units import format_bytes
+from repro.workloads.catalog import all_profiles, get_profile
+from repro.workloads.synthesis import synthesize_log
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print(f"{'name':12s} {'suite':12s} {'size':>10s} {'secs':>7s} {'unmap%':>7s}  description")
+    for profile in all_profiles():
+        print(
+            f"{profile.name:12s} {profile.suite:12s} "
+            f"{format_bytes(profile.total_trace_bytes):>10s} "
+            f"{profile.duration_seconds:7.0f} "
+            f"{profile.unmap_fraction * 100:7.1f}  {profile.description}"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    known = ALL_EXPERIMENT_IDS + EXTENSION_EXPERIMENT_IDS
+    ids = ALL_EXPERIMENT_IDS if args.experiment == "all" else (args.experiment,)
+    unknown = [i for i in ids if i not in known]
+    if unknown:
+        print(
+            f"unknown experiment(s) {unknown}; choose from "
+            f"{', '.join(known)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    subset = quick_subset() if args.quick else None
+    results = run_all(
+        seed=args.seed,
+        scale_multiplier=args.scale,
+        subset=subset,
+        experiment_ids=tuple(ids),
+    )
+    print(render_all(results))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    result = sweep_module.run(
+        benchmark=args.benchmark,
+        seed=args.seed,
+        scale_multiplier=args.scale,
+    )
+    print(render_table(result))
+    print()
+    link = sweep_module.probation_threshold_link(
+        benchmark=args.benchmark,
+        seed=args.seed,
+        scale_multiplier=args.scale,
+    )
+    print(render_table(link))
+    return 0
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    profile = get_profile(args.benchmark)
+    log = synthesize_log(profile, seed=args.seed, scale=args.scale or None)
+    if args.binary:
+        write_binary_log(log, args.output)
+    else:
+        write_log(log, args.output)
+    print(
+        f"recorded {log.n_traces} traces / {log.n_accesses} accesses "
+        f"({format_bytes(log.total_trace_bytes)}) to {args.output}"
+        f"{' [binary]' if args.binary else ''}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-gencache",
+        description=(
+            "Generational code-cache management for dynamic optimizers "
+            "(Hazelwood & Smith, MICRO 2003 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the benchmark catalog")
+
+    run_parser = sub.add_parser("run", help="regenerate a table/figure")
+    run_parser.add_argument("experiment", help="experiment id or 'all'")
+    run_parser.add_argument("--seed", type=int, default=42)
+    run_parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="extra scale divisor on top of profile defaults",
+    )
+    run_parser.add_argument(
+        "--quick", action="store_true",
+        help="use the 8-benchmark representative subset",
+    )
+
+    sweep_parser = sub.add_parser("sweep", help="Section 6.1 config sweep")
+    sweep_parser.add_argument("benchmark", nargs="?", default="word")
+    sweep_parser.add_argument("--seed", type=int, default=42)
+    sweep_parser.add_argument("--scale", type=float, default=1.0)
+
+    record_parser = sub.add_parser("record", help="synthesize and save a log")
+    record_parser.add_argument("benchmark")
+    record_parser.add_argument("output")
+    record_parser.add_argument("--seed", type=int, default=42)
+    record_parser.add_argument("--scale", type=float, default=0.0)
+    record_parser.add_argument(
+        "--binary", action="store_true",
+        help="write the compact varint binary format instead of text",
+    )
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "record": _cmd_record,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

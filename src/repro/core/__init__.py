@@ -1,0 +1,35 @@
+"""Global code-cache management — the paper's contribution (Section 5).
+
+A *global* policy decides how multiple code caches interact.  The
+baseline is a single unified cache; the contribution is the
+generational manager: a nursery for new traces, a probation cache that
+filters the dead from the live, and a persistent cache for traces that
+proved themselves.
+"""
+
+from repro.core.manager import (
+    AccessOutcome,
+    CacheManager,
+    Effect,
+    EvictionReason,
+    Evicted,
+    Inserted,
+    Promoted,
+)
+from repro.core.config import GenerationalConfig, PromotionMode
+from repro.core.unified import UnifiedCacheManager
+from repro.core.generational import GenerationalCacheManager
+
+__all__ = [
+    "AccessOutcome",
+    "CacheManager",
+    "Effect",
+    "Evicted",
+    "EvictionReason",
+    "GenerationalCacheManager",
+    "GenerationalConfig",
+    "Inserted",
+    "Promoted",
+    "PromotionMode",
+    "UnifiedCacheManager",
+]

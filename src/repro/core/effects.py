@@ -1,0 +1,69 @@
+"""Effect records emitted by cache managers.
+
+These are deliberately dependency-free so both the managers (which emit
+them) and the simulator/overhead layers (which consume them) can import
+them without cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class EvictionReason(enum.Enum):
+    """Why a trace left the system."""
+
+    #: Displaced by the local policy to make room.
+    CAPACITY = "capacity"
+    #: Its module was unmapped (program-forced, Section 3.4).
+    UNMAP = "unmap"
+    #: Removed by a whole-cache preemptive flush.
+    FLUSH = "flush"
+
+
+@dataclass(frozen=True)
+class Inserted:
+    """A trace became resident in *cache*."""
+
+    trace_id: int
+    size: int
+    cache: str
+
+
+@dataclass(frozen=True)
+class Evicted:
+    """A trace left the system entirely."""
+
+    trace_id: int
+    size: int
+    cache: str
+    reason: EvictionReason
+
+
+@dataclass(frozen=True)
+class Promoted:
+    """A trace moved from one cache to another (relocation +
+    fix-ups; priced by the Table 2 promotion formula)."""
+
+    trace_id: int
+    size: int
+    src: str
+    dst: str
+
+
+Effect = Inserted | Evicted | Promoted
+
+
+@dataclass
+class AccessOutcome:
+    """Result of notifying a manager of a (hitting) access.
+
+    Attributes:
+        cache: Name of the cache that served the hit.
+        effects: Any effects the hit triggered (e.g. an on-hit
+            promotion out of the probation cache).
+    """
+
+    cache: str
+    effects: list[Effect]

@@ -1,0 +1,124 @@
+"""The CacheManager interface and the effect records managers emit.
+
+A manager owns one or more :class:`~repro.policies.base.CodeCache`
+instances and exposes the operations a replaying simulator needs:
+lookup, hit notification, insertion (on creation or regeneration),
+module unmap, and pinning.  Every mutation returns the list of
+*effects* it caused — insertions, evictions, inter-cache promotions —
+which is what the overhead model prices.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.effects import (
+    AccessOutcome,
+    Effect,
+    Evicted,
+    EvictionReason,
+    Inserted,
+    Promoted,
+)
+from repro.policies.base import CodeCache
+
+__all__ = [
+    "AccessOutcome",
+    "CacheManager",
+    "Effect",
+    "Evicted",
+    "EvictionReason",
+    "Inserted",
+    "Promoted",
+]
+
+
+class CacheManager(abc.ABC):
+    """Global management of one or more code caches."""
+
+    #: Human-readable manager description for reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def caches(self) -> list[CodeCache]:
+        """The managed caches, most-junior first."""
+
+    @property
+    def total_capacity(self) -> int:
+        """Combined capacity of all managed caches."""
+        return sum(cache.capacity for cache in self.caches())
+
+    def lookup(self, trace_id: int) -> str | None:
+        """Name of the cache holding *trace_id*, or None."""
+        for cache in self.caches():
+            if trace_id in cache:
+                return cache.name
+        return None
+
+    @abc.abstractmethod
+    def on_hit(self, trace_id: int, time: int, count: int = 1) -> AccessOutcome:
+        """Notify the manager that a resident trace was entered
+        *count* consecutive times starting at *time*."""
+
+    @abc.abstractmethod
+    def insert(
+        self, trace_id: int, size: int, module_id: int, time: int
+    ) -> list[Effect]:
+        """Insert a newly generated (or regenerated) trace."""
+
+    def unmap_module(self, module_id: int, time: int) -> list[Effect]:
+        """Delete every trace of *module_id* from all caches."""
+        effects: list[Effect] = []
+        for cache in self.caches():
+            for trace in cache.remove_module(module_id):
+                effects.append(
+                    Evicted(
+                        trace_id=trace.trace_id,
+                        size=trace.size,
+                        cache=cache.name,
+                        reason=EvictionReason.UNMAP,
+                    )
+                )
+        return effects
+
+    def pin(self, trace_id: int) -> bool:
+        """Pin the trace wherever it is resident.
+
+        Returns:
+            True if the trace was found and pinned.
+        """
+        for cache in self.caches():
+            if trace_id in cache:
+                cache.pin(trace_id)
+                return True
+        return False
+
+    def unpin(self, trace_id: int) -> bool:
+        """Unpin the trace wherever it is resident."""
+        for cache in self.caches():
+            if trace_id in cache:
+                cache.unpin(trace_id)
+                return True
+        return False
+
+    def fragmentation(self) -> dict[str, float]:
+        """Per-cache external fragmentation."""
+        return {cache.name: cache.fragmentation() for cache in self.caches()}
+
+    def occupancy(self) -> dict[str, float]:
+        """Per-cache used-byte fraction."""
+        return {
+            cache.name: cache.used_bytes / cache.capacity
+            for cache in self.caches()
+        }
+
+    def check_invariants(self) -> None:
+        """A trace must live in at most one cache; every cache must be
+        internally consistent."""
+        seen: set[int] = set()
+        for cache in self.caches():
+            cache.check_invariants()
+            resident = set(cache.arena.trace_ids())
+            overlap = seen & resident
+            assert not overlap, f"traces {overlap} resident in two caches"
+            seen |= resident

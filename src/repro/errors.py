@@ -1,0 +1,66 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at the API boundary while the library
+itself raises the most specific subclass available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class ArenaError(ReproError):
+    """Base class for code-cache arena errors."""
+
+
+class ArenaOverlapError(ArenaError):
+    """A placement would overlap an already-placed trace."""
+
+
+class ArenaBoundsError(ArenaError):
+    """A placement would fall outside the arena's address range."""
+
+
+class TraceTooLargeError(ArenaError):
+    """A trace is larger than the cache that must hold it."""
+
+
+class CacheFullError(ArenaError):
+    """No eviction sequence can free enough space (e.g. everything is
+    pinned as undeletable)."""
+
+
+class UnknownTraceError(ReproError):
+    """An operation referenced a trace id the cache has never seen."""
+
+
+class DuplicateTraceError(ReproError):
+    """A trace id was inserted while already resident."""
+
+
+class LogFormatError(ReproError):
+    """A trace log could not be parsed."""
+
+
+class LogOrderError(LogFormatError):
+    """Log records were not in non-decreasing time order."""
+
+
+class WorkloadError(ReproError):
+    """A workload profile or generator was misconfigured."""
+
+
+class RuntimeStateError(ReproError):
+    """The dynamic-optimizer runtime was driven through an invalid
+    state transition (e.g. executing a block of an unloaded module)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness failed to produce its result table."""

@@ -1,0 +1,68 @@
+"""Common result type and table rendering for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+
+
+@dataclass
+class ExperimentResult:
+    """One table/figure's regenerated data.
+
+    Attributes:
+        experiment_id: Paper artifact id, e.g. ``"figure-9"``.
+        title: Human-readable caption.
+        columns: Column names in display order.
+        rows: One dict per row, keyed by column name.
+        notes: Free-form remarks (scale used, deviations, etc.).
+    """
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        """Append a row; every column must be present."""
+        missing = [c for c in self.columns if c not in values]
+        if missing:
+            raise ExperimentError(
+                f"{self.experiment_id}: row missing columns {missing}"
+            )
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[object]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise ExperimentError(f"{self.experiment_id}: no column {name!r}")
+        return [row[name] for row in self.rows]
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(result: ExperimentResult) -> str:
+    """Render a result as an aligned plain-text table (what the
+    benchmark harness prints, mirroring the paper's rows/series)."""
+    header = [result.experiment_id.upper() + ": " + result.title]
+    cells = [result.columns] + [
+        [_format_cell(row[c]) for c in result.columns] for row in result.rows
+    ]
+    widths = [
+        max(len(line[i]) for line in cells) for i in range(len(result.columns))
+    ]
+    lines = []
+    for line_no, line in enumerate(cells):
+        rendered = "  ".join(cell.rjust(w) for cell, w in zip(line, widths))
+        lines.append(rendered)
+        if line_no == 0:
+            lines.append("-" * len(rendered))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(header + lines)

@@ -1,0 +1,63 @@
+"""ASCII bar charts for experiment results.
+
+The paper's figures are bar charts; `render_bar_chart` turns one
+numeric column of an :class:`ExperimentResult` into a terminal-friendly
+equivalent, with zero-anchored bars and negative values drawn to the
+left of the axis (Figure 9's negative outliers stay visible).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+from repro.experiments.base import ExperimentResult
+
+
+def render_bar_chart(
+    result: ExperimentResult,
+    value_column: str,
+    label_column: str = "Benchmark",
+    width: int = 50,
+) -> str:
+    """Render one column as a horizontal bar chart.
+
+    Args:
+        result: The experiment result to draw.
+        value_column: Numeric column to plot.
+        label_column: Column used for row labels.
+        width: Total character budget for the bar area.
+    """
+    if width < 10:
+        raise ExperimentError("chart width must be at least 10 columns")
+    labels = [str(v) for v in result.column(label_column)]
+    try:
+        values = [float(v) for v in result.column(value_column)]  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise ExperimentError(
+            f"column {value_column!r} is not numeric"
+        ) from exc
+    if not values:
+        return f"{result.experiment_id}: (no data)"
+
+    label_width = max(len(label) for label in labels)
+    most_negative = min(0.0, min(values))
+    most_positive = max(0.0, max(values))
+    span = most_positive - most_negative
+    if span == 0:
+        span = 1.0
+    zero_offset = round(-most_negative / span * width)
+
+    lines = [f"{result.experiment_id}: {value_column}"]
+    for label, value in zip(labels, values):
+        cells = [" "] * (width + 1)
+        bar_cells = round(abs(value) / span * width)
+        if value >= 0:
+            for i in range(zero_offset, min(width, zero_offset + bar_cells) + 1):
+                cells[i] = "#"
+        else:
+            for i in range(max(0, zero_offset - bar_cells), zero_offset):
+                cells[i] = "#"
+        cells[zero_offset] = "|"
+        lines.append(
+            f"{label.rjust(label_width)} {''.join(cells)} {value:8.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Workload dataset: synthesized logs shared across experiments.
+
+Mirrors the paper's methodology — one recorded verbose log per
+benchmark, reused by every characterization metric and every cache
+configuration.  Logs are synthesized lazily and memoized per
+(benchmark, seed, scale).
+"""
+
+from __future__ import annotations
+
+from repro.tracelog.records import TraceLog
+from repro.tracelog.stats import LogStatistics, summarize_log
+from repro.workloads.catalog import all_profiles, get_profile, profiles_for_suite
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.synthesis import synthesize_log
+
+
+class WorkloadDataset:
+    """Lazily synthesized, memoized benchmark logs.
+
+    Args:
+        seed: Master seed shared by all benchmarks.
+        scale_multiplier: Extra divisor applied on top of each
+            profile's ``default_scale`` (benchmark harnesses use > 1
+            to keep runtimes short; experiments report it).
+        subset: Restrict to these benchmark names (None = all 38).
+        suites: Restrict to ``("spec",)``, ``("interactive",)`` or
+            both.
+    """
+
+    def __init__(
+        self,
+        seed: int = 42,
+        scale_multiplier: float = 1.0,
+        subset: list[str] | None = None,
+        suites: tuple[str, ...] = ("spec", "interactive"),
+    ) -> None:
+        self.seed = seed
+        self.scale_multiplier = scale_multiplier
+        self._logs: dict[str, TraceLog] = {}
+        self._stats: dict[str, LogStatistics] = {}
+        if subset is not None:
+            self.profiles: tuple[WorkloadProfile, ...] = tuple(
+                get_profile(name) for name in subset
+            )
+        else:
+            selected = []
+            for suite in suites:
+                selected.extend(profiles_for_suite(suite))
+            self.profiles = tuple(selected)
+
+    @property
+    def names(self) -> list[str]:
+        """Benchmark names in catalog order."""
+        return [p.name for p in self.profiles]
+
+    def profile(self, name: str) -> WorkloadProfile:
+        """Profile for one benchmark in this dataset."""
+        for candidate in self.profiles:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"benchmark {name!r} not in this dataset")
+
+    def log(self, name: str) -> TraceLog:
+        """The (memoized) synthesized log for one benchmark."""
+        if name not in self._logs:
+            profile = self.profile(name)
+            scale = profile.default_scale * self.scale_multiplier
+            self._logs[name] = synthesize_log(profile, seed=self.seed, scale=scale)
+        return self._logs[name]
+
+    def stats(self, name: str) -> LogStatistics:
+        """Memoized summary statistics of one benchmark's log."""
+        if name not in self._stats:
+            self._stats[name] = summarize_log(self.log(name))
+        return self._stats[name]
+
+    def scale_note(self) -> str:
+        """Standard note describing the scale this dataset ran at."""
+        return (
+            f"synthetic logs at per-profile default scale x "
+            f"{self.scale_multiplier:g} (seed {self.seed}); sizes are "
+            "model bytes, shapes comparable to the paper"
+        )
+
+
+def default_dataset(**kwargs) -> WorkloadDataset:
+    """A dataset over the full 38-benchmark catalog."""
+    return WorkloadDataset(**kwargs)
+
+
+def spec_dataset(**kwargs) -> WorkloadDataset:
+    """SPEC2000 suite only."""
+    return WorkloadDataset(suites=("spec",), **kwargs)
+
+
+def interactive_dataset(**kwargs) -> WorkloadDataset:
+    """Interactive suite only."""
+    return WorkloadDataset(suites=("interactive",), **kwargs)
+
+
+def quick_subset() -> list[str]:
+    """A representative 8-benchmark subset for fast harness runs."""
+    return ["gzip", "crafty", "eon", "art", "mcf", "word", "iexplore", "solitaire"]
+
+
+_ = all_profiles  # re-exported for convenience in callers' imports

@@ -1,0 +1,58 @@
+"""Figure 11: instruction-overhead ratio, generational / unified.
+
+Equation 3 over the Table 2 cost model for the paper's best layout
+(45-10-45, single-hit promotion).  Values below 100% are reductions in
+the instructions spent servicing the code cache; the paper reports a
+geometric-mean ratio of 80.7% (a 19.3% reduction), with gzip at 51.1%
+and three benchmarks above 100% (eon, vpr, applu).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import BEST_CONFIG, FIGURE9_CONFIGS, GenerationalConfig
+from repro.experiments.base import ExperimentResult
+from repro.experiments.dataset import WorkloadDataset
+from repro.experiments.evaluation import BenchmarkEvaluation, run_evaluation
+from repro.metrics.summary import geometric_mean
+
+
+def run(
+    dataset: WorkloadDataset | None = None,
+    seed: int = 42,
+    scale_multiplier: float = 1.0,
+    config: GenerationalConfig = BEST_CONFIG,
+    evaluations: dict[str, BenchmarkEvaluation] | None = None,
+) -> ExperimentResult:
+    """Regenerate Figure 11 (both suites)."""
+    dataset = dataset or WorkloadDataset(seed=seed, scale_multiplier=scale_multiplier)
+    evaluations = evaluations or run_evaluation(dataset, FIGURE9_CONFIGS)
+    label = config.label()
+    result = ExperimentResult(
+        experiment_id="figure-11",
+        title=f"Instruction overhead ratio, generational {label} / unified (%)",
+        columns=["Benchmark", "Suite", "OverheadRatioPct", "Reduced"],
+    )
+    ratios = []
+    increased = []
+    for name in dataset.names:
+        evaluation = evaluations[name]
+        ratio = evaluation.ratio(label) * 100
+        ratios.append(ratio)
+        if ratio > 100:
+            increased.append(name)
+        result.add_row(
+            Benchmark=name,
+            Suite=evaluation.suite,
+            OverheadRatioPct=round(ratio, 1),
+            Reduced=ratio <= 100,
+        )
+    result.notes.append(
+        f"geometric mean ratio: {geometric_mean(ratios):.1f}% "
+        "(paper: 80.7%)"
+    )
+    result.notes.append(
+        f"benchmarks with increased overhead: {len(increased)} "
+        f"({', '.join(increased[:8])}{'...' if len(increased) > 8 else ''})"
+    )
+    result.notes.append(dataset.scale_note())
+    return result

@@ -1,0 +1,56 @@
+"""Seed robustness of the Figure 9 headline (extension experiment).
+
+The synthetic workloads are stochastic; this experiment re-runs the
+Figure 9 comparison across several master seeds and reports the mean
+and standard deviation of each layout's average miss-rate reduction,
+quantifying how stable the configuration ranking is (EXPERIMENTS.md
+deviation D2).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import FIGURE9_CONFIGS, GenerationalConfig
+from repro.experiments.base import ExperimentResult
+from repro.experiments.dataset import WorkloadDataset, quick_subset
+from repro.experiments.evaluation import run_evaluation
+from repro.metrics.summary import arithmetic_mean, std_deviation
+
+
+def run(
+    seeds: tuple[int, ...] = (11, 42, 97),
+    scale_multiplier: float = 4.0,
+    subset: list[str] | None = None,
+    configs: tuple[GenerationalConfig, ...] = FIGURE9_CONFIGS,
+) -> ExperimentResult:
+    """Average Figure 9 reductions per layout, across seeds."""
+    subset = subset or quick_subset()
+    labels = [config.label() for config in configs]
+    per_label: dict[str, list[float]] = {label: [] for label in labels}
+    for seed in seeds:
+        dataset = WorkloadDataset(
+            seed=seed, scale_multiplier=scale_multiplier, subset=subset
+        )
+        evaluations = run_evaluation(dataset, configs)
+        for label in labels:
+            reductions = [
+                evaluations[name].reduction(label) * 100 for name in subset
+            ]
+            per_label[label].append(arithmetic_mean(reductions))
+
+    result = ExperimentResult(
+        experiment_id="seed-robustness",
+        title="Figure 9 average reduction across seeds (mean +/- std)",
+        columns=["Layout", "MeanReductionPct", "StdPct", "PerSeed"],
+    )
+    for label in labels:
+        values = per_label[label]
+        result.add_row(
+            Layout=label,
+            MeanReductionPct=round(arithmetic_mean(values), 2),
+            StdPct=round(std_deviation(values), 2),
+            PerSeed=", ".join(f"{v:.1f}" for v in values),
+        )
+    result.notes.append(
+        f"seeds {seeds}, subset {subset}, scale multiplier {scale_multiplier:g}"
+    )
+    return result

@@ -1,0 +1,140 @@
+"""Run-everything orchestration used by the CLI.
+
+Shares one dataset and one heavy evaluation pass across all the
+figures that need it, then renders each result table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.config import FIGURE9_CONFIGS
+from repro.experiments import (
+    capacity,
+    fig01_max_cache_size,
+    fig02_code_expansion,
+    fig03_insertion_rate,
+    fig04_unmapped,
+    fig06_lifetimes,
+    fig09_miss_rates,
+    fig10_misses_eliminated,
+    fig11_overhead,
+    headroom,
+    reuse,
+    robustness,
+    sweep,
+    table01_benchmarks,
+    table02_overheads,
+)
+from repro.experiments.base import ExperimentResult, render_table
+from repro.experiments.dataset import WorkloadDataset
+from repro.experiments.evaluation import run_evaluation
+
+#: Experiments that need only the dataset (characterization).
+CHARACTERIZATION: dict[str, Callable[..., ExperimentResult]] = {
+    "figure-1": fig01_max_cache_size.run,
+    "figure-2": fig02_code_expansion.run,
+    "figure-3": fig03_insertion_rate.run,
+    "figure-4": fig04_unmapped.run,
+    "figure-6": fig06_lifetimes.run,
+}
+
+ALL_EXPERIMENT_IDS: tuple[str, ...] = (
+    "table-1",
+    "figure-1",
+    "figure-2",
+    "figure-3",
+    "figure-4",
+    "figure-6",
+    "table-2",
+    "figure-9",
+    "figure-10",
+    "figure-11",
+    "sweep",
+)
+
+#: Extension experiments beyond the paper's artifacts (run on demand).
+EXTENSION_EXPERIMENT_IDS: tuple[str, ...] = (
+    "capacity",
+    "headroom",
+    "robustness",
+    "reuse",
+)
+
+
+def run_all(
+    seed: int = 42,
+    scale_multiplier: float = 1.0,
+    subset: list[str] | None = None,
+    experiment_ids: tuple[str, ...] = ALL_EXPERIMENT_IDS,
+    sweep_benchmark: str = "word",
+) -> list[ExperimentResult]:
+    """Run the requested experiments, sharing work where possible."""
+    dataset = WorkloadDataset(
+        seed=seed, scale_multiplier=scale_multiplier, subset=subset
+    )
+    results: list[ExperimentResult] = []
+    evaluations = None
+    for experiment_id in experiment_ids:
+        if experiment_id == "table-1":
+            results.append(table01_benchmarks.run())
+        elif experiment_id == "table-2":
+            results.append(table02_overheads.run())
+        elif experiment_id in CHARACTERIZATION:
+            results.append(CHARACTERIZATION[experiment_id](dataset=dataset))
+        elif experiment_id in ("figure-9", "figure-10", "figure-11"):
+            if evaluations is None:
+                evaluations = run_evaluation(dataset, FIGURE9_CONFIGS)
+            module = {
+                "figure-9": fig09_miss_rates,
+                "figure-10": fig10_misses_eliminated,
+                "figure-11": fig11_overhead,
+            }[experiment_id]
+            results.append(module.run(dataset=dataset, evaluations=evaluations))
+        elif experiment_id == "sweep":
+            bench = sweep_benchmark
+            if subset and bench not in subset:
+                bench = subset[0]
+            results.append(
+                sweep.run(
+                    benchmark=bench,
+                    seed=seed,
+                    scale_multiplier=scale_multiplier,
+                )
+            )
+        elif experiment_id == "capacity":
+            bench = sweep_benchmark
+            if subset and bench not in subset:
+                bench = subset[0]
+            results.append(
+                capacity.run(
+                    benchmark=bench,
+                    seed=seed,
+                    scale_multiplier=scale_multiplier,
+                )
+            )
+        elif experiment_id == "headroom":
+            results.append(
+                headroom.run(
+                    seed=seed,
+                    scale_multiplier=max(scale_multiplier, 4.0),
+                    subset=subset,
+                )
+            )
+        elif experiment_id == "robustness":
+            results.append(
+                robustness.run(
+                    scale_multiplier=max(scale_multiplier, 4.0),
+                    subset=subset,
+                )
+            )
+        elif experiment_id == "reuse":
+            results.append(reuse.run(dataset=dataset))
+        else:
+            raise KeyError(f"unknown experiment id {experiment_id!r}")
+    return results
+
+
+def render_all(results: list[ExperimentResult]) -> str:
+    """Render all result tables separated by blank lines."""
+    return "\n\n".join(render_table(result) for result in results)

@@ -1,0 +1,146 @@
+"""Section 6.1's configuration-space sweep.
+
+Sweeps generational cache proportions and promotion thresholds over a
+benchmark and reports the miss rate of each point.  The paper's two
+observations from this sweep:
+
+1. no benchmark-independent advantage to unbalanced nursery/persistent
+   sizing;
+2. an undeniable link between probation size and promotion threshold —
+   shrink the probation cache and the threshold must drop with it, or
+   long-lived traces are evicted from probation before qualifying.
+"""
+
+from __future__ import annotations
+
+from repro.cachesim.simulator import simulate_log
+from repro.core.config import GenerationalConfig, PromotionMode
+from repro.core.generational import GenerationalCacheManager
+from repro.core.unified import UnifiedCacheManager
+from repro.experiments.base import ExperimentResult
+from repro.experiments.dataset import WorkloadDataset
+from repro.experiments.evaluation import baseline_capacity
+
+#: (nursery, probation, persistent) proportion grid.
+PROPORTION_GRID: tuple[tuple[float, float, float], ...] = (
+    (0.45, 0.10, 0.45),
+    (0.34, 0.33, 0.33),
+    (0.25, 0.50, 0.25),
+    (0.60, 0.10, 0.30),
+    (0.30, 0.10, 0.60),
+    (0.40, 0.20, 0.40),
+)
+
+#: Promotion thresholds to cross with each proportion point.
+THRESHOLD_GRID: tuple[int, ...] = (1, 5, 10, 25)
+
+
+def run(
+    benchmark: str = "word",
+    dataset: WorkloadDataset | None = None,
+    seed: int = 42,
+    scale_multiplier: float = 1.0,
+    proportions: tuple[tuple[float, float, float], ...] = PROPORTION_GRID,
+    thresholds: tuple[int, ...] = THRESHOLD_GRID,
+) -> ExperimentResult:
+    """Sweep the configuration space for one benchmark."""
+    dataset = dataset or WorkloadDataset(
+        seed=seed, scale_multiplier=scale_multiplier, subset=[benchmark]
+    )
+    log = dataset.log(benchmark)
+    capacity = baseline_capacity(dataset.stats(benchmark).total_trace_bytes)
+    unified = simulate_log(log, UnifiedCacheManager(capacity))
+
+    result = ExperimentResult(
+        experiment_id="section-6.1-sweep",
+        title=f"Generational configuration sweep for {benchmark}",
+        columns=[
+            "Nursery", "Probation", "Persistent", "Threshold", "Mode",
+            "MissPct", "ReductionPct",
+        ],
+    )
+    best: tuple[float, dict[str, object]] | None = None
+    for nursery, probation, persistent in proportions:
+        for threshold in thresholds:
+            mode = PromotionMode.ON_HIT if threshold == 1 else PromotionMode.ON_EVICTION
+            config = GenerationalConfig(
+                nursery_fraction=nursery,
+                probation_fraction=probation,
+                persistent_fraction=persistent,
+                promotion_threshold=threshold,
+                promotion_mode=mode,
+            )
+            manager = GenerationalCacheManager(capacity, config)
+            sim = simulate_log(log, manager)
+            reduction = 0.0
+            if unified.miss_rate:
+                reduction = (unified.miss_rate - sim.miss_rate) / unified.miss_rate
+            row = {
+                "Nursery": round(nursery, 2),
+                "Probation": round(probation, 2),
+                "Persistent": round(persistent, 2),
+                "Threshold": threshold,
+                "Mode": mode.value,
+                "MissPct": round(sim.miss_rate * 100, 3),
+                "ReductionPct": round(reduction * 100, 1),
+            }
+            result.add_row(**row)
+            if best is None or sim.miss_rate < best[0]:
+                best = (sim.miss_rate, row)
+    if best is not None:
+        result.notes.append(
+            f"best point: {best[1]['Nursery']}-{best[1]['Probation']}-"
+            f"{best[1]['Persistent']} threshold {best[1]['Threshold']} "
+            f"({best[1]['ReductionPct']}% reduction)"
+        )
+    result.notes.append(
+        f"unified baseline miss rate: {unified.miss_rate * 100:.3f}% "
+        f"at {capacity} bytes"
+    )
+    result.notes.append(dataset.scale_note())
+    return result
+
+
+def probation_threshold_link(
+    benchmark: str = "word",
+    dataset: WorkloadDataset | None = None,
+    seed: int = 42,
+    scale_multiplier: float = 1.0,
+) -> ExperimentResult:
+    """Isolate the probation-size/threshold interaction: for each
+    probation size, find the best threshold.  The paper's claim is
+    that the best threshold shrinks with the probation cache."""
+    dataset = dataset or WorkloadDataset(
+        seed=seed, scale_multiplier=scale_multiplier, subset=[benchmark]
+    )
+    log = dataset.log(benchmark)
+    capacity = baseline_capacity(dataset.stats(benchmark).total_trace_bytes)
+    result = ExperimentResult(
+        experiment_id="section-6.1-link",
+        title=f"Best threshold per probation size for {benchmark}",
+        columns=["Probation", "BestThreshold", "BestMissPct"],
+    )
+    for probation in (0.05, 0.10, 0.20, 0.33, 0.50):
+        remainder = (1.0 - probation) / 2.0
+        best_threshold, best_rate = None, None
+        for threshold in (1, 2, 5, 10, 25, 50):
+            mode = (
+                PromotionMode.ON_HIT if threshold == 1 else PromotionMode.ON_EVICTION
+            )
+            config = GenerationalConfig(
+                nursery_fraction=remainder,
+                probation_fraction=probation,
+                persistent_fraction=remainder,
+                promotion_threshold=threshold,
+                promotion_mode=mode,
+            )
+            sim = simulate_log(log, GenerationalCacheManager(capacity, config))
+            if best_rate is None or sim.miss_rate < best_rate:
+                best_threshold, best_rate = threshold, sim.miss_rate
+        result.add_row(
+            Probation=round(probation, 2),
+            BestThreshold=best_threshold,
+            BestMissPct=round((best_rate or 0.0) * 100, 3),
+        )
+    result.notes.append(dataset.scale_note())
+    return result

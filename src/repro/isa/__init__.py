@@ -1,0 +1,33 @@
+"""Synthetic instruction-set substrate.
+
+The paper's dynamic optimizer (DynamoRIO) operates on IA-32 binaries.
+This subpackage provides the equivalent raw material for our
+reproduction: a small synthetic ISA, basic blocks built from it,
+modules (the executable and its DLLs) that own address ranges, and a
+weighted control-flow graph that the execution engine walks.
+"""
+
+from repro.isa.instructions import (
+    BranchKind,
+    Instruction,
+    Opcode,
+    encode_size,
+)
+from repro.isa.blocks import BasicBlock
+from repro.isa.modules import AddressSpace, Module, ModuleKind
+from repro.isa.cfg import ControlFlowGraph, Edge
+from repro.isa.program import SyntheticProgram
+
+__all__ = [
+    "AddressSpace",
+    "BasicBlock",
+    "BranchKind",
+    "ControlFlowGraph",
+    "Edge",
+    "Instruction",
+    "Module",
+    "ModuleKind",
+    "Opcode",
+    "SyntheticProgram",
+    "encode_size",
+]

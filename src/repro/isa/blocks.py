@@ -1,0 +1,75 @@
+"""Basic blocks: single-entry single-exit instruction sequences.
+
+The dynamic optimizer copies basic blocks into its basic-block cache
+and stitches them into traces (superblocks), so blocks carry the two
+things those steps need — a byte size and a terminating control
+transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import BranchKind, Instruction
+
+
+@dataclass
+class BasicBlock:
+    """A single-entry single-exit sequence of instructions.
+
+    Attributes:
+        block_id: Globally unique id within a program.
+        module_id: Owning module (executable or DLL).
+        address: Start address inside the program's address space.
+        instructions: The body; only the last may transfer control.
+    """
+
+    block_id: int
+    module_id: int
+    address: int
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for insn in self.instructions[:-1]:
+            if insn.is_control_transfer:
+                raise ValueError(
+                    f"block {self.block_id}: control transfer before final instruction"
+                )
+
+    @property
+    def size(self) -> int:
+        """Encoded size of the block in bytes."""
+        return sum(insn.size for insn in self.instructions)
+
+    @property
+    def terminator(self) -> Instruction | None:
+        """The final instruction if it transfers control, else ``None``
+        (a fall-through block)."""
+        if self.instructions and self.instructions[-1].is_control_transfer:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def ends_in_backward_branch(self) -> bool:
+        """True if the block ends with a backward direct transfer —
+        the signal DynamoRIO uses to mark the *target* a trace head."""
+        term = self.terminator
+        return term is not None and term.backward
+
+    @property
+    def ends_in_indirect(self) -> bool:
+        """True if the block ends with an indirect transfer (forces a
+        return to the dispatcher)."""
+        term = self.terminator
+        return term is not None and term.branch_kind is BranchKind.INDIRECT
+
+    @property
+    def end_address(self) -> int:
+        """One past the last byte of the block."""
+        return self.address + self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BasicBlock(id={self.block_id}, module={self.module_id}, "
+            f"addr={self.address:#x}, size={self.size})"
+        )

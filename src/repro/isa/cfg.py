@@ -1,0 +1,129 @@
+"""Weighted control-flow graph over basic blocks.
+
+The execution engine walks this graph stochastically: each block's
+outgoing edges carry probabilities that the engine samples to pick a
+successor.  Loops are expressed as backward edges, which is also what
+makes their targets trace heads in the optimizer front end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A weighted control-flow edge.
+
+    Attributes:
+        src: Source block id.
+        dst: Destination block id.
+        probability: Chance the walker follows this edge from ``src``.
+    """
+
+    src: int
+    dst: int
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise WorkloadError(
+                f"edge {self.src}->{self.dst}: probability {self.probability} "
+                "outside [0, 1]"
+            )
+
+
+class ControlFlowGraph:
+    """Adjacency structure with per-edge probabilities.
+
+    Successor probabilities of a block must sum to 1 (within a small
+    tolerance) unless the block is terminal (no successors), in which
+    case the walker treats reaching it as the end of a path.
+    """
+
+    _TOLERANCE = 1e-6
+
+    def __init__(self) -> None:
+        self._succ: dict[int, list[Edge]] = {}
+        self._pred: dict[int, list[Edge]] = {}
+        self._blocks: set[int] = set()
+
+    def add_block(self, block_id: int) -> None:
+        """Register a block id as a graph node."""
+        self._blocks.add(block_id)
+
+    def add_edge(self, src: int, dst: int, probability: float) -> None:
+        """Add a weighted edge; both endpoints are registered."""
+        edge = Edge(src, dst, probability)
+        self._blocks.add(src)
+        self._blocks.add(dst)
+        self._succ.setdefault(src, []).append(edge)
+        self._pred.setdefault(dst, []).append(edge)
+
+    @property
+    def blocks(self) -> set[int]:
+        """All registered block ids."""
+        return set(self._blocks)
+
+    def successors(self, block_id: int) -> list[Edge]:
+        """Outgoing edges of *block_id* (empty list if terminal)."""
+        return list(self._succ.get(block_id, []))
+
+    def predecessors(self, block_id: int) -> list[Edge]:
+        """Incoming edges of *block_id*."""
+        return list(self._pred.get(block_id, []))
+
+    def is_terminal(self, block_id: int) -> bool:
+        """True if *block_id* has no successors."""
+        return not self._succ.get(block_id)
+
+    def validate(self) -> None:
+        """Check that every non-terminal block's probabilities sum to 1.
+
+        Raises:
+            WorkloadError: on the first malformed block found.
+        """
+        for block_id, edges in self._succ.items():
+            total = sum(edge.probability for edge in edges)
+            if abs(total - 1.0) > self._TOLERANCE:
+                raise WorkloadError(
+                    f"block {block_id}: successor probabilities sum to "
+                    f"{total:.6f}, expected 1.0"
+                )
+
+    def sample_successor(self, block_id: int, uniform: float) -> int | None:
+        """Pick a successor of *block_id* using a pre-drawn uniform
+        value in [0, 1).  Returns ``None`` for terminal blocks.
+
+        Taking the uniform as an argument (instead of an RNG) keeps the
+        graph free of random state and trivially testable.
+        """
+        edges = self._succ.get(block_id)
+        if not edges:
+            return None
+        cumulative = 0.0
+        for edge in edges:
+            cumulative += edge.probability
+            if uniform < cumulative:
+                return edge.dst
+        # Guard against floating-point shortfall: fall back to the
+        # final edge, which is where a sum of exactly 1.0 would land.
+        return edges[-1].dst
+
+    def remove_block(self, block_id: int) -> None:
+        """Remove a block and all incident edges (used when a module is
+        unloaded for good)."""
+        self._blocks.discard(block_id)
+        for edge in self._succ.pop(block_id, []):
+            self._pred[edge.dst] = [
+                e for e in self._pred.get(edge.dst, []) if e.src != block_id
+            ]
+        for edge in self._pred.pop(block_id, []):
+            self._succ[edge.src] = [
+                e for e in self._succ.get(edge.src, []) if e.dst != block_id
+            ]
+
+    def __len__(self) -> int:
+        return len(self._blocks)

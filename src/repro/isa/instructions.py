@@ -1,0 +1,152 @@
+"""A small synthetic instruction set.
+
+We do not need real semantics — only the properties that matter to a
+dynamic optimizer's front end:
+
+* instructions have sizes (so blocks and traces have byte sizes, which
+  drive cache placement and the Table 2 cost formulas);
+* the final instruction of a basic block is a control transfer with a
+  direction (a *backward* branch signals a loop and makes its target a
+  trace head);
+* branches can be direct (patchable during relocation) or indirect
+  (must return to the dispatcher).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Opcode(enum.Enum):
+    """Opcode classes, deliberately coarse.
+
+    ``ALU``/``LOAD``/``STORE`` are straight-line filler; the remaining
+    opcodes terminate basic blocks.
+    """
+
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    CALL = "call"
+    RETURN = "return"
+
+    @property
+    def is_control_transfer(self) -> bool:
+        """True if this opcode ends a basic block."""
+        return self in (Opcode.BRANCH, Opcode.JUMP, Opcode.CALL, Opcode.RETURN)
+
+
+class BranchKind(enum.Enum):
+    """How a control transfer selects its target."""
+
+    #: No transfer at all (straight-line instruction).
+    NONE = "none"
+    #: Conditional direct branch: taken target + fall-through.
+    CONDITIONAL = "conditional"
+    #: Unconditional direct jump.
+    DIRECT = "direct"
+    #: Indirect jump/call/return: target known only at run time.
+    INDIRECT = "indirect"
+
+
+#: Byte sizes per opcode class, loosely modelled on average IA-32
+#: encodings.  They only need to be plausible and stable.
+_OPCODE_SIZES = {
+    Opcode.ALU: 3,
+    Opcode.LOAD: 4,
+    Opcode.STORE: 4,
+    Opcode.BRANCH: 2,
+    Opcode.JUMP: 5,
+    Opcode.CALL: 5,
+    Opcode.RETURN: 1,
+}
+
+
+def encode_size(opcode: Opcode) -> int:
+    """Return the encoded byte size of an instruction of *opcode*."""
+    return _OPCODE_SIZES[opcode]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One synthetic instruction.
+
+    Attributes:
+        opcode: Coarse opcode class.
+        branch_kind: How (if at all) control transfers.
+        target_block: For direct transfers, the id of the target basic
+            block (``None`` for fall-through-only or indirect).
+        backward: True if the transfer goes to a lower address —
+            DynamoRIO treats the target of a backward branch as a
+            potential trace head.
+    """
+
+    opcode: Opcode
+    branch_kind: BranchKind = BranchKind.NONE
+    target_block: int | None = None
+    backward: bool = False
+
+    def __post_init__(self) -> None:
+        if self.branch_kind is BranchKind.NONE and self.opcode.is_control_transfer:
+            raise ValueError(f"{self.opcode} must carry a branch kind")
+        if self.branch_kind is not BranchKind.NONE and not self.opcode.is_control_transfer:
+            raise ValueError(f"{self.opcode} cannot carry branch kind {self.branch_kind}")
+        if self.branch_kind is BranchKind.INDIRECT and self.target_block is not None:
+            raise ValueError("indirect transfers have no static target")
+
+    @property
+    def size(self) -> int:
+        """Encoded size in bytes."""
+        return encode_size(self.opcode)
+
+    @property
+    def is_control_transfer(self) -> bool:
+        """True if this instruction ends a basic block."""
+        return self.opcode.is_control_transfer
+
+
+def straightline(opcode: Opcode = Opcode.ALU) -> Instruction:
+    """Build a non-branching filler instruction."""
+    return Instruction(opcode=opcode)
+
+
+def conditional_branch(target_block: int, backward: bool) -> Instruction:
+    """Build a conditional direct branch to *target_block*."""
+    return Instruction(
+        opcode=Opcode.BRANCH,
+        branch_kind=BranchKind.CONDITIONAL,
+        target_block=target_block,
+        backward=backward,
+    )
+
+
+def direct_jump(target_block: int, backward: bool = False) -> Instruction:
+    """Build an unconditional direct jump to *target_block*."""
+    return Instruction(
+        opcode=Opcode.JUMP,
+        branch_kind=BranchKind.DIRECT,
+        target_block=target_block,
+        backward=backward,
+    )
+
+
+def indirect_jump() -> Instruction:
+    """Build an indirect jump (target resolved at run time)."""
+    return Instruction(opcode=Opcode.JUMP, branch_kind=BranchKind.INDIRECT)
+
+
+def call(target_block: int) -> Instruction:
+    """Build a direct call to *target_block*."""
+    return Instruction(
+        opcode=Opcode.CALL,
+        branch_kind=BranchKind.DIRECT,
+        target_block=target_block,
+    )
+
+
+def ret() -> Instruction:
+    """Build a return (an indirect transfer)."""
+    return Instruction(opcode=Opcode.RETURN, branch_kind=BranchKind.INDIRECT)

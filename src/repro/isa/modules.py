@@ -1,0 +1,123 @@
+"""Modules and the program address space.
+
+Windows applications load and unload DLLs at run time; whenever a
+region of memory containing code is unmapped, every trace built from it
+must be deleted from the code cache (paper, Section 3.4).  Modules are
+the unit of that mapping: each owns a contiguous address range and a
+set of basic blocks, and can be unloaded and (at a fresh address)
+reloaded.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import RuntimeStateError
+
+
+class ModuleKind(enum.Enum):
+    """What kind of code a module holds."""
+
+    EXECUTABLE = "executable"
+    SYSTEM_LIBRARY = "system_library"
+    PLUGIN_DLL = "plugin_dll"
+
+
+@dataclass
+class Module:
+    """A loadable unit of code (the executable or one DLL).
+
+    Attributes:
+        module_id: Unique id within the program.
+        name: Human-readable name (e.g. ``"word.exe"``, ``"mso.dll"``).
+        kind: Executable / system library / unloadable plugin DLL.
+        base_address: Load address; ``None`` while unloaded.
+        code_size: Static code footprint in bytes.
+        block_ids: Basic blocks belonging to this module.
+        unloadable: Whether the workload may unmap this module.
+    """
+
+    module_id: int
+    name: str
+    kind: ModuleKind
+    code_size: int
+    base_address: int | None = None
+    block_ids: list[int] = field(default_factory=list)
+    unloadable: bool = False
+
+    @property
+    def loaded(self) -> bool:
+        """True while the module is mapped."""
+        return self.base_address is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"@{self.base_address:#x}" if self.loaded else "unloaded"
+        return f"Module({self.name}, id={self.module_id}, {state})"
+
+
+class AddressSpace:
+    """A simple bump allocator of module load addresses.
+
+    Real loaders reuse address ranges — that reuse is exactly why
+    unmapped code must be purged from the code cache (a different DLL
+    could occupy the same addresses).  We model reuse explicitly:
+    unloading releases the range, and a later load may receive a
+    previously released base address.
+    """
+
+    def __init__(self, base: int = 0x0040_0000, alignment: int = 0x1000) -> None:
+        if alignment <= 0 or alignment & (alignment - 1):
+            raise ValueError("alignment must be a positive power of two")
+        self._next = base
+        self._alignment = alignment
+        self._free_ranges: list[tuple[int, int]] = []  # (base, size), reusable
+        self._live: dict[int, tuple[int, int]] = {}  # module_id -> (base, size)
+
+    def _align(self, value: int) -> int:
+        mask = self._alignment - 1
+        return (value + mask) & ~mask
+
+    def map(self, module: Module) -> int:
+        """Assign *module* a base address and mark it loaded.
+
+        Prefers reusing a released range that is large enough (first
+        fit), mirroring OS loader behaviour that makes stale code-cache
+        entries dangerous.
+        """
+        if module.loaded:
+            raise RuntimeStateError(f"module {module.name} is already loaded")
+        size = self._align(module.code_size)
+        for index, (base, free_size) in enumerate(self._free_ranges):
+            if free_size >= size:
+                if free_size == size:
+                    del self._free_ranges[index]
+                else:
+                    self._free_ranges[index] = (base + size, free_size - size)
+                module.base_address = base
+                self._live[module.module_id] = (base, size)
+                return base
+        base = self._next
+        self._next = base + size
+        module.base_address = base
+        self._live[module.module_id] = (base, size)
+        return base
+
+    def unmap(self, module: Module) -> None:
+        """Release *module*'s address range for reuse."""
+        if not module.loaded:
+            raise RuntimeStateError(f"module {module.name} is not loaded")
+        base, size = self._live.pop(module.module_id)
+        self._free_ranges.append((base, size))
+        module.base_address = None
+
+    @property
+    def live_modules(self) -> list[int]:
+        """Ids of currently mapped modules."""
+        return sorted(self._live)
+
+    def range_of(self, module_id: int) -> tuple[int, int]:
+        """Return (base, aligned size) of a mapped module."""
+        if module_id not in self._live:
+            raise RuntimeStateError(f"module {module_id} is not mapped")
+        return self._live[module_id]

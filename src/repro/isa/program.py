@@ -1,0 +1,222 @@
+"""SyntheticProgram: modules + blocks + CFG, built programmatically.
+
+A :class:`SyntheticProgram` is the unit the execution engine runs and
+the dynamic-optimizer runtime instruments.  Workload generators build
+programs with the loop structure, module layout and phase behaviour of
+the benchmark they model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RuntimeStateError, WorkloadError
+from repro.isa.blocks import BasicBlock
+from repro.isa.cfg import ControlFlowGraph
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    conditional_branch,
+    straightline,
+)
+from repro.isa.modules import AddressSpace, Module, ModuleKind
+
+
+@dataclass
+class SyntheticProgram:
+    """A complete synthetic program.
+
+    Attributes:
+        name: Benchmark name (e.g. ``"gzip"`` or ``"word"``).
+        modules: All modules keyed by id (loaded or not).
+        blocks: All basic blocks keyed by id.
+        cfg: The weighted control-flow graph.
+        entry_block: Block id where execution starts.
+    """
+
+    name: str
+    modules: dict[int, Module] = field(default_factory=dict)
+    blocks: dict[int, BasicBlock] = field(default_factory=dict)
+    cfg: ControlFlowGraph = field(default_factory=ControlFlowGraph)
+    entry_block: int = 0
+    address_space: AddressSpace = field(default_factory=AddressSpace)
+
+    @property
+    def code_footprint(self) -> int:
+        """Static code footprint in bytes: the size of all code the
+        program can execute, including libraries (Equation 1's
+        denominator)."""
+        return sum(module.code_size for module in self.modules.values())
+
+    def module_of_block(self, block_id: int) -> Module:
+        """Return the module owning *block_id*."""
+        block = self.blocks.get(block_id)
+        if block is None:
+            raise RuntimeStateError(f"unknown block {block_id}")
+        return self.modules[block.module_id]
+
+    def load_module(self, module_id: int) -> None:
+        """Map a module into the address space."""
+        self.address_space.map(self.modules[module_id])
+
+    def unload_module(self, module_id: int) -> None:
+        """Unmap a module; its blocks become non-executable until it is
+        loaded again."""
+        self.address_space.unmap(self.modules[module_id])
+
+    def validate(self) -> None:
+        """Cross-check blocks, modules and CFG consistency."""
+        self.cfg.validate()
+        for block in self.blocks.values():
+            if block.module_id not in self.modules:
+                raise WorkloadError(
+                    f"block {block.block_id} references unknown module "
+                    f"{block.module_id}"
+                )
+        if self.entry_block not in self.blocks:
+            raise WorkloadError(f"entry block {self.entry_block} does not exist")
+
+
+class ProgramBuilder:
+    """Incremental builder for :class:`SyntheticProgram`.
+
+    The builder hands out block ids, keeps module membership straight,
+    and provides the common structural idioms (straight-line runs,
+    loops) that workload generators compose.
+    """
+
+    def __init__(self, name: str) -> None:
+        self._program = SyntheticProgram(name=name)
+        self._next_block = 0
+        self._next_module = 0
+
+    def add_module(
+        self,
+        name: str,
+        kind: ModuleKind,
+        code_size: int = 0,
+        unloadable: bool = False,
+        loaded: bool = True,
+    ) -> Module:
+        """Create a module; ``code_size`` may be grown implicitly as
+        blocks are added."""
+        module = Module(
+            module_id=self._next_module,
+            name=name,
+            kind=kind,
+            code_size=code_size,
+            unloadable=unloadable,
+        )
+        self._next_module += 1
+        self._program.modules[module.module_id] = module
+        if loaded:
+            self._program.address_space.map(module)
+        return module
+
+    def add_block(
+        self,
+        module: Module,
+        instructions: list[Instruction] | None = None,
+        body_length: int = 5,
+        terminator: Instruction | None = None,
+    ) -> BasicBlock:
+        """Create a basic block inside *module*.
+
+        Either pass explicit *instructions*, or a *body_length* of
+        straight-line filler plus an optional *terminator*.
+        """
+        if instructions is None:
+            instructions = [straightline(Opcode.ALU) for _ in range(body_length)]
+            if terminator is not None:
+                instructions.append(terminator)
+        base = module.base_address if module.base_address is not None else 0
+        offset = sum(
+            self._program.blocks[b].size for b in module.block_ids
+        )
+        block = BasicBlock(
+            block_id=self._next_block,
+            module_id=module.module_id,
+            address=base + offset,
+            instructions=instructions,
+        )
+        self._next_block += 1
+        self._program.blocks[block.block_id] = block
+        module.block_ids.append(block.block_id)
+        module.code_size += block.size
+        self._program.cfg.add_block(block.block_id)
+        return block
+
+    def chain(self, blocks: list[BasicBlock]) -> None:
+        """Connect *blocks* in sequence with probability-1 fallthrough
+        edges."""
+        for src, dst in zip(blocks, blocks[1:]):
+            self._program.cfg.add_edge(src.block_id, dst.block_id, 1.0)
+
+    def add_loop(
+        self,
+        module: Module,
+        body_blocks: int,
+        iterations_mean: float,
+        block_body_length: int = 5,
+    ) -> tuple[BasicBlock, BasicBlock]:
+        """Build a natural loop of *body_blocks* blocks.
+
+        The final block conditionally branches back to the head with
+        probability ``p = 1 - 1/iterations_mean`` (geometric iteration
+        count with the requested mean) and falls through otherwise.
+
+        Returns (head, exit) blocks; the caller wires the exit onward.
+        """
+        if iterations_mean < 1.0:
+            raise WorkloadError("loop must iterate at least once on average")
+        body = [
+            self.add_block(module, body_length=block_body_length)
+            for _ in range(max(0, body_blocks - 1))
+        ]
+        head = body[0] if body else None
+        # The tail carries a backward conditional branch to the head, the
+        # signal that makes the head a trace-head candidate in the runtime.
+        head_id = head.block_id if head is not None else self._next_block
+        tail = self.add_block(
+            module,
+            body_length=block_body_length,
+            terminator=conditional_branch(head_id, backward=True),
+        )
+        if head is None:
+            head = tail
+        blocks = body + [tail]
+        self.chain(blocks)
+        back_probability = max(0.0, 1.0 - 1.0 / iterations_mean)
+        exit_block = self.add_block(module, body_length=block_body_length)
+        self._program.cfg.add_edge(tail.block_id, head.block_id, back_probability)
+        self._program.cfg.add_edge(
+            tail.block_id, exit_block.block_id, 1.0 - back_probability
+        )
+        return head, exit_block
+
+    def connect(self, src: BasicBlock, dst: BasicBlock, probability: float) -> None:
+        """Add an explicit weighted edge."""
+        self._program.cfg.add_edge(src.block_id, dst.block_id, probability)
+
+    def set_entry(self, block: BasicBlock) -> None:
+        """Mark the program entry point."""
+        self._program.entry_block = block.block_id
+
+    def finish(self) -> SyntheticProgram:
+        """Validate and return the built program."""
+        self._program.validate()
+        return self._program
+
+
+def tiny_loop_program(name: str = "tiny", iterations_mean: float = 100.0) -> SyntheticProgram:
+    """A minimal single-loop program used by tests and the quickstart
+    example: entry -> loop(head..tail) -> exit (terminal)."""
+    builder = ProgramBuilder(name)
+    main = builder.add_module("main.exe", ModuleKind.EXECUTABLE)
+    entry = builder.add_block(main, body_length=3)
+    head, exit_block = builder.add_loop(
+        main, body_blocks=2, iterations_mean=iterations_mean
+    )
+    builder.connect(entry, head, 1.0)
+    builder.set_entry(entry)
+    return builder.finish()

@@ -1,0 +1,26 @@
+"""Analysis metrics used by the paper's characterization and evaluation."""
+
+from repro.metrics.lifetimes import (
+    LIFETIME_BUCKETS,
+    LifetimeHistogram,
+    trace_lifetimes,
+    lifetime_histogram,
+)
+from repro.metrics.expansion import code_expansion
+from repro.metrics.rates import insertion_rate
+from repro.metrics.missrates import miss_rate_reduction, misses_eliminated
+from repro.metrics.summary import arithmetic_mean, geometric_mean, std_deviation
+
+__all__ = [
+    "LIFETIME_BUCKETS",
+    "LifetimeHistogram",
+    "arithmetic_mean",
+    "code_expansion",
+    "geometric_mean",
+    "insertion_rate",
+    "lifetime_histogram",
+    "miss_rate_reduction",
+    "misses_eliminated",
+    "std_deviation",
+    "trace_lifetimes",
+]

@@ -1,0 +1,32 @@
+"""Code expansion — Equation 1 and Figure 2.
+
+::
+
+    codeExpansion = finalCacheSize / applicationFootprint
+
+A value of 1.0 (100%) means the cached code doubled the application's
+code footprint; the paper measures roughly 500% for both suites.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+
+
+def code_expansion(final_cache_size: int, application_footprint: int) -> float:
+    """Equation 1 as a fraction (5.0 == the paper's "500%").
+
+    Args:
+        final_cache_size: Unbounded code cache high-water mark (bytes).
+        application_footprint: Static code executed, including system
+            libraries (bytes).
+    """
+    if application_footprint <= 0:
+        raise ExperimentError(
+            f"application footprint must be positive, got {application_footprint}"
+        )
+    if final_cache_size < 0:
+        raise ExperimentError(
+            f"cache size must be non-negative, got {final_cache_size}"
+        )
+    return final_cache_size / application_footprint

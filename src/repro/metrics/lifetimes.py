@@ -1,0 +1,117 @@
+"""Trace lifetimes — Equation 2 and the Figure 6 histogram.
+
+::
+
+    lifetime_i = (lastExecution_i - firstExecution_i) / totalApplicationExecutionTime
+
+Figure 6 buckets lifetimes into five 20%-wide categories and plots the
+unweighted (static) percentage of traces per bucket; the paper's
+central observation is the U shape — most traces are either short-
+lived (< 20%) or long-lived (> 80%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.tracelog.records import TraceAccess, TraceCreate, TraceLog
+
+#: Figure 6's bucket upper bounds (fractions of execution time).
+LIFETIME_BUCKETS: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+#: Human-readable bucket labels in Figure 6 order.
+BUCKET_LABELS: tuple[str, ...] = (
+    "0-20%",
+    "20-40%",
+    "40-60%",
+    "60-80%",
+    "80-100%",
+)
+
+
+def trace_lifetimes(log: TraceLog) -> dict[int, float]:
+    """Compute Equation 2 for every trace in *log*.
+
+    First execution is the first access (or the creation, for traces
+    never re-entered); last execution is the final access.  Returns a
+    mapping trace_id -> lifetime fraction in [0, 1].
+    """
+    total = log.end_time
+    if total <= 0:
+        raise ExperimentError("log has no execution time")
+    first: dict[int, int] = {}
+    last: dict[int, int] = {}
+    for record in log.records:
+        if isinstance(record, TraceCreate):
+            first.setdefault(record.trace_id, record.time)
+            last.setdefault(record.trace_id, record.time)
+        elif isinstance(record, TraceAccess):
+            first.setdefault(record.trace_id, record.time)
+            last[record.trace_id] = record.time
+    return {
+        trace_id: (last[trace_id] - first[trace_id]) / total
+        for trace_id in first
+    }
+
+
+@dataclass(frozen=True)
+class LifetimeHistogram:
+    """Static percentage of traces per Figure 6 bucket.
+
+    Attributes:
+        benchmark: Benchmark name.
+        fractions: Percentage (0-100) of traces per bucket, in
+            :data:`BUCKET_LABELS` order; sums to 100 for a non-empty
+            log.
+        n_traces: Trace population size.
+    """
+
+    benchmark: str
+    fractions: tuple[float, ...]
+    n_traces: int
+
+    @property
+    def short_lived(self) -> float:
+        """Percentage of traces with lifetime < 20%."""
+        return self.fractions[0]
+
+    @property
+    def long_lived(self) -> float:
+        """Percentage of traces with lifetime > 80%."""
+        return self.fractions[-1]
+
+    @property
+    def is_u_shaped(self) -> bool:
+        """True when the extreme buckets dominate the middle ones, the
+        paper's qualitative claim about both suites."""
+        middle = sum(self.fractions[1:-1])
+        return self.short_lived + self.long_lived > middle
+
+
+def bucket_of(lifetime: float) -> int:
+    """Index of the Figure 6 bucket containing *lifetime*."""
+    if not 0.0 <= lifetime <= 1.0:
+        raise ExperimentError(f"lifetime {lifetime} outside [0, 1]")
+    for index, upper in enumerate(LIFETIME_BUCKETS):
+        if lifetime <= upper:
+            return index
+    return len(LIFETIME_BUCKETS) - 1
+
+
+def lifetime_histogram(log: TraceLog) -> LifetimeHistogram:
+    """Build the Figure 6 histogram for one log."""
+    lifetimes = trace_lifetimes(log)
+    counts = [0] * len(LIFETIME_BUCKETS)
+    for lifetime in lifetimes.values():
+        counts[bucket_of(lifetime)] += 1
+    population = len(lifetimes)
+    if population == 0:
+        fractions = tuple(0.0 for _ in LIFETIME_BUCKETS)
+    else:
+        fractions = tuple(100.0 * c / population for c in counts)
+    return LifetimeHistogram(
+        benchmark=log.benchmark,
+        fractions=fractions,
+        n_traces=population,
+    )

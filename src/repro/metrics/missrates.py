@@ -1,0 +1,28 @@
+"""Miss-rate comparison metrics — Figures 9 and 10."""
+
+from __future__ import annotations
+
+from repro.cachesim.stats import SimulationResult
+
+
+def miss_rate_reduction(
+    baseline: SimulationResult, candidate: SimulationResult
+) -> float:
+    """Relative miss-rate reduction of *candidate* over *baseline*
+    (Figure 9's y-axis): positive when the candidate misses less.
+
+    Returns a fraction: 0.18 means an 18% lower miss rate.
+    """
+    base_rate = baseline.miss_rate
+    if base_rate == 0.0:
+        return 0.0
+    return (base_rate - candidate.miss_rate) / base_rate
+
+
+def misses_eliminated(
+    baseline: SimulationResult, candidate: SimulationResult
+) -> int:
+    """Absolute number of cache misses the candidate avoided
+    (Figure 10's y-axis; can be negative if the candidate misses
+    more)."""
+    return baseline.stats.misses - candidate.stats.misses

@@ -1,0 +1,27 @@
+"""Trace insertion rates — Figure 3.
+
+The strain a workload places on cache management: KB of new traces
+generated per second of execution.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+
+
+def insertion_rate(total_trace_bytes: int, duration_seconds: float) -> float:
+    """Bytes of traces generated per second.
+
+    Args:
+        total_trace_bytes: Sum of all created trace sizes over the run.
+        duration_seconds: Wall-clock duration of the run.
+    """
+    if duration_seconds <= 0:
+        raise ExperimentError(
+            f"duration must be positive, got {duration_seconds}"
+        )
+    if total_trace_bytes < 0:
+        raise ExperimentError(
+            f"trace bytes must be non-negative, got {total_trace_bytes}"
+        )
+    return total_trace_bytes / duration_seconds

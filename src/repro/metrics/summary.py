@@ -1,0 +1,43 @@
+"""Cross-benchmark aggregation helpers.
+
+The paper uses unweighted arithmetic means for Figure 9 averages and a
+geometric mean for the Figure 11 overhead ratio; Figure 2 quotes
+standard deviations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Plain unweighted mean (0.0 for an empty input)."""
+    items = list(values)
+    if not items:
+        return 0.0
+    return sum(items) / len(items)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; requires strictly positive values.
+
+    Raises:
+        ValueError: if any value is <= 0.
+    """
+    items = list(values)
+    if not items:
+        return 0.0
+    for value in items:
+        if value <= 0:
+            raise ValueError(f"geometric mean requires positive values, got {value}")
+    return math.exp(sum(math.log(v) for v in items) / len(items))
+
+
+def std_deviation(values: Iterable[float]) -> float:
+    """Population standard deviation (0.0 for fewer than two values)."""
+    items = list(values)
+    if len(items) < 2:
+        return 0.0
+    mean = arithmetic_mean(items)
+    return math.sqrt(sum((v - mean) ** 2 for v in items) / len(items))

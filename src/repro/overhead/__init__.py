@@ -1,0 +1,17 @@
+"""Instruction-overhead model — Section 6.2 of the paper.
+
+The paper measured DynamoRIO's costs with the Pentium-4 performance
+counters and fitted the four formulas in Table 2.  We use those same
+formulas to price the events a simulated run produces, and compute the
+Equation 3 overhead ratio between managers.
+"""
+
+from repro.overhead.model import CostModel, TABLE2_COSTS
+from repro.overhead.accounting import OverheadAccount, overhead_ratio
+
+__all__ = [
+    "CostModel",
+    "OverheadAccount",
+    "TABLE2_COSTS",
+    "overhead_ratio",
+]

@@ -1,0 +1,70 @@
+"""Table 2 cost formulas.
+
+| Event             | Overhead (instructions)        |
+|-------------------|--------------------------------|
+| Trace generation  | 865 * traceSizeBytes^0.8       |
+| DR context switch | 25                             |
+| Eviction          | 2.75 * traceSizeBytes + 2650   |
+| Promotion         | 22 * traceSizeBytes + 8030     |
+
+For the paper's median 242-byte trace these give ~69,834 instructions
+to generate, 3,316 to evict and 13,354 to promote — reproduced exactly
+by :mod:`repro.experiments.table02_overheads`.
+
+A conflict miss costs two context switches, one trace regeneration and
+one basic-block-to-trace-cache copy (priced as a promotion), about
+85,000 instructions for an average trace — which is why avoiding
+premature evictions pays even though promotions are not free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Parameterized instruction-cost model.
+
+    The defaults are the paper's fitted constants; tests and ablations
+    may build variants (e.g. a free-promotion model) by replacing
+    fields.
+    """
+
+    generation_scale: float = 865.0
+    generation_exponent: float = 0.8
+    context_switch: float = 25.0
+    eviction_per_byte: float = 2.75
+    eviction_base: float = 2650.0
+    promotion_per_byte: float = 22.0
+    promotion_base: float = 8030.0
+
+    def trace_generation(self, size_bytes: int) -> float:
+        """Instructions to (re)generate a trace of *size_bytes*."""
+        return self.generation_scale * (size_bytes ** self.generation_exponent)
+
+    def eviction(self, size_bytes: int) -> float:
+        """Instructions to evict a trace (unlinking, hole bookkeeping)."""
+        return self.eviction_per_byte * size_bytes + self.eviction_base
+
+    def promotion(self, size_bytes: int) -> float:
+        """Instructions to relocate a trace to another cache,
+        including jump fix-ups."""
+        return self.promotion_per_byte * size_bytes + self.promotion_base
+
+    def conflict_miss(self, size_bytes: int) -> float:
+        """Full price of one conflict miss (Section 6.2): two context
+        switches, one regeneration, and one copy into the trace cache
+        (same cost as a promotion)."""
+        return (
+            2 * self.context_switch
+            + self.trace_generation(size_bytes)
+            + self.promotion(size_bytes)
+        )
+
+
+#: The paper's exact Table 2 model.
+TABLE2_COSTS = CostModel()
+
+#: Median trace size across the paper's benchmarks, in bytes.
+MEDIAN_TRACE_SIZE = 242

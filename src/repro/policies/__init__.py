@@ -1,0 +1,42 @@
+"""Local (single-cache) management policies — Section 4 of the paper.
+
+Each policy is a :class:`~repro.policies.base.CodeCache` subclass that
+owns one arena and decides placement and eviction.  The paper's own
+policy is :class:`~repro.policies.pseudocircular.PseudoCircularCache`;
+the others are the reference points it was designed against.
+"""
+
+from repro.policies.base import CachedTrace, CodeCache, InsertResult
+from repro.policies.pseudocircular import PseudoCircularCache
+from repro.policies.circular import CircularCache
+from repro.policies.lru import LRUCache
+from repro.policies.lfu import LFUCache
+from repro.policies.flush import PreemptiveFlushCache
+from repro.policies.unbounded import UnboundedCache
+from repro.policies.oracle import OracleCache
+
+#: Registry of policy classes by their short names, used by configs
+#: and the CLI.
+POLICIES: dict[str, type[CodeCache]] = {
+    PseudoCircularCache.policy_name: PseudoCircularCache,
+    CircularCache.policy_name: CircularCache,
+    LRUCache.policy_name: LRUCache,
+    LFUCache.policy_name: LFUCache,
+    PreemptiveFlushCache.policy_name: PreemptiveFlushCache,
+    UnboundedCache.policy_name: UnboundedCache,
+    OracleCache.policy_name: OracleCache,
+}
+
+__all__ = [
+    "POLICIES",
+    "CachedTrace",
+    "CircularCache",
+    "CodeCache",
+    "InsertResult",
+    "LFUCache",
+    "LRUCache",
+    "OracleCache",
+    "PreemptiveFlushCache",
+    "PseudoCircularCache",
+    "UnboundedCache",
+]

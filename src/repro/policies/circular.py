@@ -1,0 +1,53 @@
+"""Pure circular (FIFO) buffer — the idealized policy of the authors'
+prior work [12] that the pseudo-circular variant descends from.
+
+It assumes no pinned traces ever appear; encountering one raises,
+which is exactly the point: the paper argues a *pure* circular buffer
+is unachievable in a real dynamic optimizer.  It is kept as a reference
+implementation and as the oracle that the pseudo-circular policy must
+match whenever nothing is pinned.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CacheFullError, TraceTooLargeError
+from repro.policies.base import CachedTrace, CodeCache
+
+
+class CircularCache(CodeCache):
+    """Strict circular buffer; intolerant of pinned traces."""
+
+    policy_name = "circular"
+
+    def __init__(self, capacity: int, name: str = "cache") -> None:
+        super().__init__(capacity, name)
+        self._pointer = 0
+
+    @property
+    def pointer(self) -> int:
+        """The current insertion/eviction offset."""
+        return self._pointer
+
+    def _allocate(self, trace: CachedTrace) -> tuple[int, list[int]]:
+        size = trace.size
+        if size > self.capacity:
+            raise TraceTooLargeError(
+                f"trace {trace.trace_id} ({size} B) exceeds cache "
+                f"{self.name!r} capacity ({self.capacity} B)"
+            )
+        pointer = self._pointer
+        if pointer + size > self.capacity:
+            pointer = 0
+        overlapping = self.arena.overlapping(pointer, pointer + size)
+        for placement in overlapping:
+            if self.get(placement.trace_id).pinned:
+                raise CacheFullError(
+                    f"pure circular cache {self.name!r} cannot evict "
+                    f"pinned trace {placement.trace_id}"
+                )
+        return pointer, [p.trace_id for p in overlapping]
+
+    def _after_insert(self, trace: CachedTrace, start: int) -> None:
+        self._pointer = start + trace.size
+        if self._pointer >= self.capacity:
+            self._pointer = 0

@@ -1,0 +1,74 @@
+"""Preemptive-flush local policy (Dynamo-style, Section 2).
+
+Dynamo flushed its entire code cache when it detected a program phase
+change — in practice, when trace creation pressure exceeded what the
+cache could absorb.  We model the consequence the paper cares about:
+the cache fills append-style, and when a new trace does not fit, the
+*whole* cache is flushed and filling restarts.  Every flushed trace
+must be regenerated if re-executed, which is the cost Dynamo gambled
+the phase change would amortize.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CacheFullError, TraceTooLargeError
+from repro.policies.base import CachedTrace, CodeCache, InsertResult
+
+
+class PreemptiveFlushCache(CodeCache):
+    """Append-only placement; flushes everything when full."""
+
+    policy_name = "preemptive-flush"
+
+    def __init__(self, capacity: int, name: str = "cache") -> None:
+        super().__init__(capacity, name)
+        self.n_flushes = 0
+
+    def insert(
+        self,
+        trace_id: int,
+        size: int,
+        module_id: int,
+        time: int = 0,
+    ) -> InsertResult:
+        result = super().insert(trace_id, size, module_id, time)
+        if self._flush_pending:
+            result.flushed = True
+        return result
+
+    def _allocate(self, trace: CachedTrace) -> tuple[int, list[int]]:
+        self._flush_pending = False
+        size = trace.size
+        if size > self.capacity:
+            raise TraceTooLargeError(
+                f"trace {trace.trace_id} ({size} B) exceeds cache "
+                f"{self.name!r} capacity ({self.capacity} B)"
+            )
+        start = self.arena.first_fit(size)
+        if start is not None:
+            return start, []
+        # Phase-change heuristic fired: flush all unpinned traces.
+        self._flush_pending = True
+        self.n_flushes += 1
+        victims = [t.trace_id for t in self.traces() if not t.pinned]
+        # The allocation search below must account for the flush, so
+        # compute the fit as if the victims were already gone.
+        survivors = [
+            self.arena.placement_of(t.trace_id)
+            for t in self.traces()
+            if t.pinned
+        ]
+        survivors.sort(key=lambda p: p.start)
+        cursor = 0
+        for placement in survivors:
+            if placement.start - cursor >= size:
+                return cursor, victims
+            cursor = placement.end
+        if self.capacity - cursor >= size:
+            return cursor, victims
+        raise CacheFullError(
+            f"cache {self.name!r}: pinned traces prevent placing {size} B "
+            "even after a full flush"
+        )
+
+    _flush_pending = False

@@ -1,0 +1,87 @@
+"""LRU local policy.
+
+The authors' prior work [12] compared LRU against circular management
+and found the circular buffer superior once overhead and fragmentation
+were accounted for.  We implement LRU with first-fit placement: evict
+least-recently-used unpinned traces until a contiguous hole fits the
+incoming trace.  Unlike the circular policies, LRU leaves scattered
+holes, which is the fragmentation cost the paper highlights.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CacheFullError, TraceTooLargeError
+from repro.policies.base import CachedTrace, CodeCache
+
+
+class LRUCache(CodeCache):
+    """Least-recently-used eviction with first-fit placement."""
+
+    policy_name = "lru"
+
+    def __init__(self, capacity: int, name: str = "cache") -> None:
+        super().__init__(capacity, name)
+        # Recency list: dict preserves insertion order; re-touching a
+        # trace moves it to the back.  Front = least recently used.
+        self._recency: dict[int, None] = {}
+
+    def _allocate(self, trace: CachedTrace) -> tuple[int, list[int]]:
+        size = trace.size
+        if size > self.capacity:
+            raise TraceTooLargeError(
+                f"trace {trace.trace_id} ({size} B) exceeds cache "
+                f"{self.name!r} capacity ({self.capacity} B)"
+            )
+        start = self.arena.first_fit(size)
+        if start is not None:
+            return start, []
+        evicted: list[int] = []
+        # Evict in LRU order on a scratch view until a hole fits.  We
+        # must simulate removals without mutating the arena, so work on
+        # a copy of the hole list merged with victim ranges.
+        victims_by_recency = [
+            tid for tid in self._recency if not self.get(tid).pinned
+        ]
+        freed: list[tuple[int, int]] = []
+        for trace_id in victims_by_recency:
+            placement = self.arena.placement_of(trace_id)
+            evicted.append(trace_id)
+            freed.append((placement.start, placement.end))
+            start = self._fit_with_freed(size, freed)
+            if start is not None:
+                return start, evicted
+        raise CacheFullError(
+            f"cache {self.name!r}: pinned traces prevent placing {size} B"
+        )
+
+    def _fit_with_freed(self, size: int, freed: list[tuple[int, int]]) -> int | None:
+        """First-fit search over current holes unioned with the ranges
+        in *freed* (pending evictions)."""
+        boundaries = self.arena.holes() + freed
+        boundaries.sort()
+        merged: list[tuple[int, int]] = []
+        for start, end in boundaries:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        for start, end in merged:
+            if end - start >= size:
+                return start
+        return None
+
+    def _after_insert(self, trace: CachedTrace, start: int) -> None:
+        self._recency[trace.trace_id] = None
+
+    def _after_touch(self, trace: CachedTrace) -> None:
+        # Move to most-recently-used position.
+        self._recency.pop(trace.trace_id, None)
+        self._recency[trace.trace_id] = None
+
+    def _after_remove(self, trace: CachedTrace) -> None:
+        self._recency.pop(trace.trace_id, None)
+
+    def _drop(self, trace_id: int) -> CachedTrace:
+        trace = super()._drop(trace_id)
+        self._recency.pop(trace_id, None)
+        return trace

@@ -1,0 +1,36 @@
+"""Unbounded code cache — DynamoRIO's default (Section 2).
+
+Never evicts for capacity; simply grows.  The high-water mark of such a
+cache is the paper's ``maxCache`` (Figure 1), which sizes every bounded
+experiment (the unified baseline is ``0.5 * maxCache``).  Internally we
+give the arena a huge fixed span and bump-allocate; holes left by
+forced (unmap) deletions are never reused, so the high-water mark
+equals the total bytes of traces ever generated — exactly the paper's
+definition of the unbounded cache size.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import CachedTrace, CodeCache
+
+#: Practically-infinite arena span (1 TiB of virtual cache space).
+_UNBOUNDED_SPAN = 1 << 40
+
+
+class UnboundedCache(CodeCache):
+    """A cache that always has room."""
+
+    policy_name = "unbounded"
+
+    def __init__(self, capacity: int = _UNBOUNDED_SPAN, name: str = "cache") -> None:
+        super().__init__(capacity, name)
+        self._bump = 0
+        self.high_water_mark = 0
+
+    def _allocate(self, trace: CachedTrace) -> tuple[int, list[int]]:
+        start = self._bump
+        return start, []
+
+    def _after_insert(self, trace: CachedTrace, start: int) -> None:
+        self._bump = max(self._bump, start + trace.size)
+        self.high_water_mark = max(self.high_water_mark, self._bump)

@@ -1,0 +1,37 @@
+"""The dynamic-optimizer front end (a DynamoRIO-like runtime).
+
+Observes the execution engine's block stream exactly the way DynamoRIO
+observes a process (Section 4.1): every executed basic block is copied
+into a basic-block cache; blocks targeted by backward branches or
+exiting existing traces become *trace heads* with execution counters;
+when a counter passes the trace creation threshold the runtime enters
+trace-generation mode and builds a superblock by the Next-Executed-Tail
+policy; the finished trace is recorded in the verbose trace log that
+drives every cache simulation.
+"""
+
+from repro.runtime.bbcache import BasicBlockCache
+from repro.runtime.traces import Trace, TraceBuilder
+from repro.runtime.selection import (
+    DEFAULT_TRACE_THRESHOLD,
+    TraceHeadTable,
+    TraceSelectionConfig,
+)
+from repro.runtime.relocation import RelocatedTrace, relocate_trace
+from repro.runtime.linker import LinkerStats, TraceLinker
+from repro.runtime.system import DynOptRuntime, record_session
+
+__all__ = [
+    "BasicBlockCache",
+    "DEFAULT_TRACE_THRESHOLD",
+    "DynOptRuntime",
+    "LinkerStats",
+    "RelocatedTrace",
+    "Trace",
+    "TraceBuilder",
+    "TraceHeadTable",
+    "TraceLinker",
+    "TraceSelectionConfig",
+    "record_session",
+    "relocate_trace",
+]

@@ -1,0 +1,79 @@
+"""The basic-block cache.
+
+DynamoRIO never interprets: before executing any basic block it copies
+the block into a basic-block cache and runs the copy (Section 4.1).
+The paper notes this bb-cache/trace-cache split is itself a primitive
+form of generational management — execution count decides which cache
+stores the code.
+
+We model the bb cache as unbounded (as DynamoRIO's effectively is for
+the purposes of the paper) but track its size and copy count, and we
+purge entries when their module unmaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.blocks import BasicBlock
+
+
+@dataclass
+class _BBEntry:
+    block_id: int
+    size: int
+    module_id: int
+    executions: int = 0
+
+
+class BasicBlockCache:
+    """Registry of basic blocks copied out of the application."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, _BBEntry] = {}
+        self.total_copies = 0  # includes re-copies after unmap
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self._entries
+
+    @property
+    def n_blocks(self) -> int:
+        """Blocks currently resident."""
+        return len(self._entries)
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes of copied block code currently resident."""
+        return sum(entry.size for entry in self._entries.values())
+
+    def copy_in(self, block: BasicBlock) -> None:
+        """Copy a block into the cache (first execution path)."""
+        self._entries[block.block_id] = _BBEntry(
+            block_id=block.block_id,
+            size=block.size,
+            module_id=block.module_id,
+        )
+        self.total_copies += 1
+
+    def execute(self, block_id: int) -> int:
+        """Count one execution of a resident block; returns the new
+        execution count."""
+        entry = self._entries[block_id]
+        entry.executions += 1
+        return entry.executions
+
+    def executions(self, block_id: int) -> int:
+        """Execution count of a resident block (0 if absent)."""
+        entry = self._entries.get(block_id)
+        return entry.executions if entry else 0
+
+    def purge_module(self, module_id: int) -> list[int]:
+        """Remove all blocks of an unmapped module; returns their ids."""
+        victims = [
+            block_id
+            for block_id, entry in self._entries.items()
+            if entry.module_id == module_id
+        ]
+        for block_id in victims:
+            del self._entries[block_id]
+        return victims

@@ -1,0 +1,206 @@
+"""Inter-trace linking.
+
+A dynamic optimizer patches a trace's exit stubs to jump *directly* to
+other traces whose heads they target, so steady-state execution never
+returns to the dispatcher — the trick that makes code caches fast
+(each avoided dispatcher round trip saves two context switches, the
+25-instruction cost of Table 2).
+
+Linking is why deletions are expensive and fragmenting in real
+systems: before a trace's bytes can be reused, every *incoming* link
+must be unpatched (else stale jumps would land in freed memory), which
+is part of what the Table 2 eviction formula prices.
+
+The linker tracks the link graph among resident traces:
+
+* when a trace is registered, its exits are resolved against resident
+  heads (outgoing links) and resident traces' unresolved exits are
+  resolved against its head (incoming links);
+* when a trace is removed, all its links are severed and its incoming
+  ones are counted as *unlink operations*;
+* :meth:`record_transition` classifies each trace-to-trace transition
+  as linked (no dispatcher involvement) or unlinked (two context
+  switches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DuplicateTraceError, UnknownTraceError
+from repro.runtime.traces import Trace
+
+
+@dataclass
+class LinkerStats:
+    """Counters the linker accumulates.
+
+    Attributes:
+        links_patched: Exit stubs patched to point at another trace.
+        links_unpatched: Links severed because an endpoint was removed.
+        linked_transitions: Trace-to-trace transitions that followed a
+            patched link (no dispatcher round trip).
+        unlinked_transitions: Transitions through the dispatcher.
+    """
+
+    links_patched: int = 0
+    links_unpatched: int = 0
+    linked_transitions: int = 0
+    unlinked_transitions: int = 0
+
+    @property
+    def switches_avoided(self) -> int:
+        """Dispatcher context switches avoided (two per linked
+        transition)."""
+        return 2 * self.linked_transitions
+
+
+@dataclass
+class _Node:
+    trace: Trace
+    #: Block ids this trace's exits target (outside the trace body).
+    exit_targets: tuple[int, ...]
+    outgoing: set[int] = field(default_factory=set)  # linked target trace ids
+    incoming: set[int] = field(default_factory=set)  # linked source trace ids
+
+
+def exit_targets_of(trace: Trace, terminator_targets: dict[int, int | None]) -> tuple[int, ...]:
+    """Compute a trace's off-trace exit targets.
+
+    Args:
+        trace: The sealed trace.
+        terminator_targets: Map block id -> direct terminator target
+            block (None for fall-through/indirect), usually derived
+            from the program's blocks.
+    """
+    body = set(trace.block_ids)
+    targets = []
+    for block_id in trace.block_ids:
+        target = terminator_targets.get(block_id)
+        if target is not None and target not in body:
+            targets.append(target)
+    return tuple(targets)
+
+
+class TraceLinker:
+    """The link graph over resident traces."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, _Node] = {}
+        self._by_head: dict[int, int] = {}  # head block -> trace id
+        self.stats = LinkerStats()
+
+    def __contains__(self, trace_id: int) -> bool:
+        return trace_id in self._nodes
+
+    @property
+    def n_traces(self) -> int:
+        """Registered traces."""
+        return len(self._nodes)
+
+    @property
+    def n_links(self) -> int:
+        """Currently patched links."""
+        return sum(len(node.outgoing) for node in self._nodes.values())
+
+    def register(self, trace: Trace, exit_targets: tuple[int, ...]) -> int:
+        """Add a resident trace and patch every resolvable link.
+
+        Returns:
+            The number of links patched (both directions).
+        """
+        if trace.trace_id in self._nodes:
+            raise DuplicateTraceError(
+                f"trace {trace.trace_id} already registered with the linker"
+            )
+        node = _Node(trace=trace, exit_targets=exit_targets)
+        self._nodes[trace.trace_id] = node
+        self._by_head[trace.head_block] = trace.trace_id
+        patched = 0
+        # Outgoing: my exits to resident heads.
+        for target_block in exit_targets:
+            target_trace = self._by_head.get(target_block)
+            if target_trace is not None and target_trace != trace.trace_id:
+                node.outgoing.add(target_trace)
+                self._nodes[target_trace].incoming.add(trace.trace_id)
+                patched += 1
+        # Incoming: resident traces with unresolved exits to my head.
+        for other in self._nodes.values():
+            if other.trace.trace_id == trace.trace_id:
+                continue
+            if (
+                trace.head_block in other.exit_targets
+                and trace.trace_id not in other.outgoing
+            ):
+                other.outgoing.add(trace.trace_id)
+                node.incoming.add(other.trace.trace_id)
+                patched += 1
+        self.stats.links_patched += patched
+        return patched
+
+    def remove(self, trace_id: int) -> int:
+        """Remove a trace, severing its links.
+
+        Returns:
+            The number of unlink operations performed (each incoming
+            or outgoing link must be unpatched before the trace's
+            bytes may be reused).
+        """
+        node = self._nodes.get(trace_id)
+        if node is None:
+            raise UnknownTraceError(f"trace {trace_id} is not registered")
+        unlinked = 0
+        for target in node.outgoing:
+            self._nodes[target].incoming.discard(trace_id)
+            unlinked += 1
+        for source in node.incoming:
+            self._nodes[source].outgoing.discard(trace_id)
+            unlinked += 1
+        del self._nodes[trace_id]
+        self._by_head.pop(node.trace.head_block, None)
+        self.stats.links_unpatched += unlinked
+        return unlinked
+
+    def remove_module(self, module_id: int) -> int:
+        """Remove every trace of an unmapped module; returns total
+        unlink operations."""
+        victims = [
+            trace_id
+            for trace_id, node in self._nodes.items()
+            if node.trace.module_id == module_id
+        ]
+        return sum(self.remove(trace_id) for trace_id in victims)
+
+    def is_linked(self, src_trace: int, dst_trace: int) -> bool:
+        """True if a patched link runs src -> dst."""
+        node = self._nodes.get(src_trace)
+        return node is not None and dst_trace in node.outgoing
+
+    def record_transition(self, src_trace: int | None, dst_trace: int) -> bool:
+        """Classify one trace entry.
+
+        Args:
+            src_trace: The trace execution came from (None if from the
+                dispatcher/bb cache).
+            dst_trace: The trace being entered.
+
+        Returns:
+            True if the transition followed a patched link.
+        """
+        if src_trace is not None and self.is_linked(src_trace, dst_trace):
+            self.stats.linked_transitions += 1
+            return True
+        self.stats.unlinked_transitions += 1
+        return False
+
+    def check_invariants(self) -> None:
+        """Link graph symmetry: every outgoing edge has its incoming
+        mirror, endpoints exist, and no self-links."""
+        for trace_id, node in self._nodes.items():
+            assert trace_id not in node.outgoing, "self-link"
+            for target in node.outgoing:
+                assert target in self._nodes, "dangling outgoing link"
+                assert trace_id in self._nodes[target].incoming
+            for source in node.incoming:
+                assert source in self._nodes, "dangling incoming link"
+                assert trace_id in self._nodes[source].outgoing

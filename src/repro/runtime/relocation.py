@@ -1,0 +1,117 @@
+"""Code relocation (Section 5.4).
+
+Promoting a trace between caches means moving its bytes to a new
+address and fixing up every address-relative jump.  The paper points
+out this is table-stakes functionality for a dynamic optimizer — code
+has already been moved twice (program -> bb cache -> trace cache) by
+the time it sits in a trace.
+
+We model relocation faithfully enough to test it: given a trace's
+blocks and a source/destination base address, compute each block's new
+address and the set of intra-trace direct branches whose displacement
+must be patched.  Inter-cache links (exit stubs) are always
+re-resolved, so they count as fix-ups too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.blocks import BasicBlock
+
+
+@dataclass(frozen=True)
+class Fixup:
+    """One patched address-relative field.
+
+    Attributes:
+        block_id: Block whose terminator was patched.
+        kind: ``"intra"`` for a branch to another block in the same
+            trace, ``"stub"`` for an off-trace exit stub.
+        old_target: Address the field pointed at before the move.
+        new_target: Address after the move.
+    """
+
+    block_id: int
+    kind: str
+    old_target: int
+    new_target: int
+
+
+@dataclass(frozen=True)
+class RelocatedTrace:
+    """Result of relocating one trace.
+
+    Attributes:
+        trace_id: The relocated trace.
+        new_base: Destination base address.
+        block_addresses: New start address of each block, in trace order.
+        fixups: Every patched field.
+    """
+
+    trace_id: int
+    new_base: int
+    block_addresses: tuple[int, ...]
+    fixups: tuple[Fixup, ...]
+
+
+def layout_blocks(blocks: list[BasicBlock], base: int) -> list[int]:
+    """Assign consecutive addresses starting at *base*."""
+    addresses = []
+    cursor = base
+    for block in blocks:
+        addresses.append(cursor)
+        cursor += block.size
+    return addresses
+
+
+def relocate_trace(
+    trace_id: int,
+    blocks: list[BasicBlock],
+    old_base: int,
+    new_base: int,
+) -> RelocatedTrace:
+    """Relocate a trace's blocks from *old_base* to *new_base*.
+
+    Intra-trace direct branches get their displacement recomputed;
+    every off-trace direct branch is re-pointed at its (conceptual)
+    exit stub at the new location.  Indirect terminators need no
+    patching — they always bounce through the dispatcher.
+    """
+    old_addresses = layout_blocks(blocks, old_base)
+    new_addresses = layout_blocks(blocks, new_base)
+    position = {block.block_id: i for i, block in enumerate(blocks)}
+    fixups: list[Fixup] = []
+    for index, block in enumerate(blocks):
+        terminator = block.terminator
+        if terminator is None or terminator.target_block is None:
+            continue
+        target = terminator.target_block
+        if target in position:
+            target_index = position[target]
+            fixups.append(
+                Fixup(
+                    block_id=block.block_id,
+                    kind="intra",
+                    old_target=old_addresses[target_index],
+                    new_target=new_addresses[target_index],
+                )
+            )
+        else:
+            # Off-trace branch: its exit stub moves with the trace.
+            delta = new_base - old_base
+            stub_old = old_addresses[index] + block.size
+            fixups.append(
+                Fixup(
+                    block_id=block.block_id,
+                    kind="stub",
+                    old_target=stub_old,
+                    new_target=stub_old + delta,
+                )
+            )
+    return RelocatedTrace(
+        trace_id=trace_id,
+        new_base=new_base,
+        block_addresses=tuple(new_addresses),
+        fixups=tuple(fixups),
+    )

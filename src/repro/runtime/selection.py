@@ -1,0 +1,88 @@
+"""Trace-head detection and selection policy (Section 4.1).
+
+A basic block is marked a *trace head* when it is (a) the target of a
+backward branch — signalling a loop — or (b) an exit from an existing
+trace.  Each trace head carries an execution counter; when the counter
+exceeds the trace creation threshold (50 in DynamoRIO), the runtime
+enters trace-generation mode and builds a superblock by the
+Next-Executed-Tail policy of Duesterwald and Bala: simply follow
+execution, stopping at (a) a backward branch, or (b) the start of an
+existing trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: DynamoRIO's trace creation threshold.
+DEFAULT_TRACE_THRESHOLD = 50
+
+
+@dataclass(frozen=True)
+class TraceSelectionConfig:
+    """Knobs of the trace selection policy.
+
+    Attributes:
+        threshold: Trace-head executions required to trigger
+            trace-generation mode.
+        max_trace_blocks: Hard cap on superblock length.
+    """
+
+    threshold: int = DEFAULT_TRACE_THRESHOLD
+    max_trace_blocks: int = 64
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {self.threshold}")
+        if self.max_trace_blocks < 1:
+            raise ValueError(
+                f"max_trace_blocks must be >= 1, got {self.max_trace_blocks}"
+            )
+
+
+class TraceHeadTable:
+    """Trace-head markings and their execution counters."""
+
+    def __init__(self, config: TraceSelectionConfig | None = None) -> None:
+        self.config = config or TraceSelectionConfig()
+        self._counters: dict[int, int] = {}
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self._counters
+
+    @property
+    def n_heads(self) -> int:
+        """Number of marked trace heads."""
+        return len(self._counters)
+
+    def mark(self, block_id: int) -> None:
+        """Mark *block_id* as a trace head (idempotent; preserves any
+        existing counter)."""
+        self._counters.setdefault(block_id, 0)
+
+    def count(self, block_id: int) -> int:
+        """Current counter of a head (0 if unmarked)."""
+        return self._counters.get(block_id, 0)
+
+    def record_execution(self, block_id: int) -> bool:
+        """Count one execution of a marked head.
+
+        Returns:
+            True when the counter has now exceeded the threshold and
+            trace generation should begin.
+        """
+        if block_id not in self._counters:
+            return False
+        self._counters[block_id] += 1
+        return self._counters[block_id] >= self.config.threshold
+
+    def reset(self, block_id: int) -> None:
+        """Clear a head's counter after its trace has been built, so a
+        later unmap-and-regenerate cycle must re-earn the threshold."""
+        if block_id in self._counters:
+            self._counters[block_id] = 0
+
+    def purge(self, block_ids: list[int]) -> None:
+        """Forget heads whose blocks were unmapped."""
+        for block_id in block_ids:
+            self._counters.pop(block_id, None)

@@ -1,0 +1,308 @@
+"""DynOptRuntime: the observing dynamic optimizer.
+
+Consumes the execution engine's event stream and produces the verbose
+trace log, mirroring the paper's methodology: the recording run uses an
+(implicitly) unbounded trace cache — once created, a trace exists until
+its module unmaps — and every bounded cache configuration is evaluated
+later by replaying the log.
+
+Per-block behaviour (Section 4.1):
+
+1. A block that heads a cached trace: control enters the trace; the
+   runtime logs a (compressed) trace access and tracks progress through
+   the trace body so it can recognize side exits.
+2. Any other block: copied into the basic-block cache on first
+   execution, then counted.  If the block is a marked trace head, its
+   counter may cross the creation threshold, entering trace-generation
+   mode.
+3. In trace-generation mode the Next-Executed-Tail policy simply
+   follows execution, stopping at a backward branch, the start of an
+   existing trace, a module boundary, or the length cap.
+
+Trace heads are marked when (a) a backward branch targets the block or
+(b) the block is executed immediately after leaving a trace (a trace
+exit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.blocks import BasicBlock
+from repro.isa.program import SyntheticProgram
+from repro.runtime.bbcache import BasicBlockCache
+from repro.runtime.linker import TraceLinker, exit_targets_of
+from repro.runtime.selection import TraceHeadTable, TraceSelectionConfig
+from repro.runtime.traces import Trace, TraceBuilder
+from repro.sim.engine import ExecutionEngine
+from repro.sim.events import (
+    BlockExecuted,
+    ModuleLoaded,
+    ModuleUnloaded,
+    ProgramEnd,
+    SimEvent,
+)
+from repro.sim.phases import SessionScript
+from repro.tracelog.records import (
+    EndOfLog,
+    ModuleUnmap,
+    TraceAccess,
+    TraceCreate,
+    TraceLog,
+)
+
+
+@dataclass
+class _PendingAccess:
+    """Run-length compression state for consecutive same-trace entries."""
+
+    trace_id: int
+    first_time: int
+    count: int
+
+
+class DynOptRuntime:
+    """The observing optimizer front end for one recorded run."""
+
+    def __init__(
+        self,
+        program: SyntheticProgram,
+        selection: TraceSelectionConfig | None = None,
+        duration_seconds: float = 1.0,
+    ) -> None:
+        self.program = program
+        self.selection = selection or TraceSelectionConfig()
+        self.bbcache = BasicBlockCache()
+        self.heads = TraceHeadTable(self.selection)
+        self.linker = TraceLinker()
+        self.traces: dict[int, Trace] = {}
+        self._trace_of_head: dict[int, int] = {}
+        self._next_trace_id = 0
+        self._builder: TraceBuilder | None = None
+        self._in_trace: Trace | None = None
+        self._trace_position = 0
+        self._just_exited_trace = False
+        self._last_trace_exited: int | None = None
+        self._pending: _PendingAccess | None = None
+        self.log = TraceLog(
+            benchmark=program.name,
+            duration_seconds=duration_seconds,
+            code_footprint=program.code_footprint,
+        )
+
+    # ------------------------------------------------------------------
+    # Event dispatch
+    # ------------------------------------------------------------------
+
+    def observe(self, event: SimEvent) -> None:
+        """Feed one engine event through the optimizer."""
+        if isinstance(event, BlockExecuted):
+            self._on_block(event.time, self.program.blocks[event.block_id])
+        elif isinstance(event, ModuleUnloaded):
+            self._on_unmap(event.time, event.module_id)
+        elif isinstance(event, ModuleLoaded):
+            pass  # loads need no log record; traces appear lazily
+        elif isinstance(event, ProgramEnd):
+            self._finish(event.time)
+
+    def run(self, engine: ExecutionEngine) -> TraceLog:
+        """Drive a whole session and return the recorded log."""
+        for event in engine.run():
+            self.observe(event)
+        return self.log
+
+    # ------------------------------------------------------------------
+    # Block handling
+    # ------------------------------------------------------------------
+
+    def _on_block(self, time: int, block: BasicBlock) -> None:
+        # Progress inside a cached trace: stay silent while execution
+        # matches the trace body; leaving it makes the next block a
+        # trace exit (head rule b).
+        if self._in_trace is not None:
+            trace = self._in_trace
+            if (
+                self._trace_position < len(trace.block_ids)
+                and trace.block_ids[self._trace_position] == block.block_id
+            ):
+                self._trace_position += 1
+                if self._trace_position == len(trace.block_ids):
+                    self._in_trace = None
+                    self._just_exited_trace = True
+                    self._last_trace_exited = trace.trace_id
+                return
+            # Side exit: this block left the trace early.
+            self._in_trace = None
+            self._just_exited_trace = True
+            self._last_trace_exited = trace.trace_id
+
+        if self._just_exited_trace:
+            self.heads.mark(block.block_id)
+            self._just_exited_trace = False
+
+        # Trace-generation mode (NET policy).
+        if self._builder is not None:
+            if self._extend_or_finish(time, block):
+                return
+
+        # Entering a cached trace?
+        trace_id = self._trace_of_head.get(block.block_id)
+        if trace_id is not None:
+            self.linker.record_transition(self._last_trace_exited, trace_id)
+            self._last_trace_exited = None
+            self._record_access(time, trace_id)
+            trace = self.traces[trace_id]
+            self._in_trace = trace
+            self._trace_position = 1
+            if len(trace.block_ids) == 1:
+                self._in_trace = None
+                self._just_exited_trace = True
+                self._last_trace_exited = trace_id
+            return
+
+        # Ordinary bb-cache execution: any dispatcher/bb work between
+        # two traces breaks the linked-transition chain.
+        self._last_trace_exited = None
+        if block.block_id not in self.bbcache:
+            self.bbcache.copy_in(block)
+        self.bbcache.execute(block.block_id)
+
+        # Backward-branch head marking (head rule a).
+        terminator = block.terminator
+        if (
+            terminator is not None
+            and terminator.backward
+            and terminator.target_block is not None
+        ):
+            self.heads.mark(terminator.target_block)
+
+        # Threshold check: begin trace generation at this head.
+        if self.heads.record_execution(block.block_id):
+            self._builder = TraceBuilder(
+                trace_id=self._next_trace_id,
+                head=block,
+                started_at=time,
+                max_blocks=self.selection.max_trace_blocks,
+            )
+            self._next_trace_id += 1
+            self.heads.reset(block.block_id)
+            if block.ends_in_backward_branch:
+                # A single-block loop body is a complete trace already.
+                self._seal_builder(time)
+
+    def _extend_or_finish(self, time: int, block: BasicBlock) -> bool:
+        """Advance trace generation with the next executed block.
+
+        Returns:
+            True if *block* was consumed by the builder, False if the
+            builder sealed without it (the block must then be processed
+            normally by the caller).
+        """
+        builder = self._builder
+        assert builder is not None
+        stop_before = (
+            block.block_id in self._trace_of_head
+            or builder.full
+            or block.module_id != builder.head.module_id
+            or builder.contains_block(block.block_id)
+        )
+        if stop_before:
+            self._seal_builder(time)
+            return False
+        builder.extend(block)
+        if block.ends_in_backward_branch:
+            self._seal_builder(time)
+        return True
+
+    def _seal_builder(self, time: int) -> None:
+        builder = self._builder
+        assert builder is not None
+        self._builder = None
+        trace = builder.finish(created_at=time)
+        self.traces[trace.trace_id] = trace
+        self._trace_of_head[trace.head_block] = trace.trace_id
+        terminator_targets = {
+            block_id: (
+                self.program.blocks[block_id].terminator.target_block
+                if self.program.blocks[block_id].terminator is not None
+                else None
+            )
+            for block_id in trace.block_ids
+        }
+        self.linker.register(trace, exit_targets_of(trace, terminator_targets))
+        self._flush_pending()
+        self.log.append(
+            TraceCreate(
+                time=time,
+                trace_id=trace.trace_id,
+                size=trace.size,
+                module_id=trace.module_id,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Unmaps and termination
+    # ------------------------------------------------------------------
+
+    def _on_unmap(self, time: int, module_id: int) -> None:
+        self._flush_pending()
+        purged_blocks = self.bbcache.purge_module(module_id)
+        self.heads.purge(purged_blocks)
+        dead = [t for t in self.traces.values() if t.module_id == module_id]
+        for trace in dead:
+            del self.traces[trace.trace_id]
+            self._trace_of_head.pop(trace.head_block, None)
+        self.linker.remove_module(module_id)
+        if self._last_trace_exited is not None and self._last_trace_exited not in self.linker:
+            self._last_trace_exited = None
+        if self._builder is not None and self._builder.head.module_id == module_id:
+            self._builder = None  # abort in-flight generation
+        if self._in_trace is not None and self._in_trace.module_id == module_id:
+            self._in_trace = None
+        self.log.append(ModuleUnmap(time=time, module_id=module_id))
+
+    def _finish(self, time: int) -> None:
+        if self._builder is not None:
+            self._seal_builder(time)
+        self._flush_pending()
+        self.log.append(EndOfLog(time=time))
+
+    # ------------------------------------------------------------------
+    # Access compression
+    # ------------------------------------------------------------------
+
+    def _record_access(self, time: int, trace_id: int) -> None:
+        if self._pending is not None and self._pending.trace_id == trace_id:
+            self._pending.count += 1
+            return
+        self._flush_pending()
+        self._pending = _PendingAccess(trace_id=trace_id, first_time=time, count=1)
+
+    def _flush_pending(self) -> None:
+        if self._pending is None:
+            return
+        self.log.append(
+            TraceAccess(
+                time=self._pending.first_time,
+                trace_id=self._pending.trace_id,
+                repeat=self._pending.count,
+            )
+        )
+        self._pending = None
+
+
+def record_session(
+    program: SyntheticProgram,
+    script: SessionScript,
+    seed: int = 0,
+    selection: TraceSelectionConfig | None = None,
+) -> TraceLog:
+    """Record one full session: build the engine, observe it with a
+    fresh runtime, and return the verbose log."""
+    engine = ExecutionEngine(program, script, seed=seed)
+    runtime = DynOptRuntime(
+        program,
+        selection=selection,
+        duration_seconds=script.duration_seconds,
+    )
+    return runtime.run(engine)

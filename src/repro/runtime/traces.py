@@ -1,0 +1,105 @@
+"""Traces (superblocks) and their construction bookkeeping.
+
+A trace is a single-entry multiple-exit region stitched from basic
+blocks.  Its cache footprint is the sum of its blocks' sizes plus an
+exit stub per off-trace branch — the duplication that makes code caches
+expand to ~500% of the original footprint (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RuntimeStateError
+from repro.isa.blocks import BasicBlock
+
+#: Bytes of linking stub emitted for each off-trace exit, modelled on
+#: DynamoRIO's exit stubs.
+EXIT_STUB_BYTES = 14
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable, finished trace.
+
+    Attributes:
+        trace_id: Unique within the run.
+        head_block: Entry block id (single entry).
+        block_ids: Constituent blocks in execution order.
+        module_id: Module of the head block (trace construction stops
+            at module boundaries, so all blocks share it).
+        size: Cache footprint in bytes, stubs included.
+        created_at: Virtual creation time.
+    """
+
+    trace_id: int
+    head_block: int
+    block_ids: tuple[int, ...]
+    module_id: int
+    size: int
+    created_at: int
+
+    def __post_init__(self) -> None:
+        if not self.block_ids:
+            raise RuntimeStateError("a trace needs at least one block")
+        if self.block_ids[0] != self.head_block:
+            raise RuntimeStateError("trace head must be the first block")
+
+
+@dataclass
+class TraceBuilder:
+    """Accumulates blocks while the runtime is in trace-generation
+    mode; :meth:`finish` seals the superblock."""
+
+    trace_id: int
+    head: BasicBlock
+    started_at: int
+    blocks: list[BasicBlock] = field(default_factory=list)
+    max_blocks: int = 64
+
+    def __post_init__(self) -> None:
+        self.blocks = [self.head]
+
+    @property
+    def full(self) -> bool:
+        """True when the trace reached its maximum length."""
+        return len(self.blocks) >= self.max_blocks
+
+    def extend(self, block: BasicBlock) -> None:
+        """Append the next executed block (the Next-Executed-Tail
+        policy simply follows execution)."""
+        if self.full:
+            raise RuntimeStateError("cannot extend a full trace")
+        if block.module_id != self.head.module_id:
+            raise RuntimeStateError(
+                "trace construction must stop at module boundaries"
+            )
+        self.blocks.append(block)
+
+    def contains_block(self, block_id: int) -> bool:
+        """True if *block_id* is already part of the trace body (a
+        cycle back into the trace also terminates construction)."""
+        return any(b.block_id == block_id for b in self.blocks)
+
+    def finish(self, created_at: int) -> Trace:
+        """Seal the trace and compute its cache footprint.
+
+        Every conditional branch inside the trace contributes one
+        off-trace exit stub; the final block contributes one as well
+        (the fall-off-the-end exit).
+        """
+        n_exits = 1 + sum(
+            1
+            for block in self.blocks[:-1]
+            if block.terminator is not None
+            and block.terminator.target_block is not None
+        )
+        size = sum(b.size for b in self.blocks) + n_exits * EXIT_STUB_BYTES
+        return Trace(
+            trace_id=self.trace_id,
+            head_block=self.head.block_id,
+            block_ids=tuple(b.block_id for b in self.blocks),
+            module_id=self.head.module_id,
+            size=size,
+            created_at=created_at,
+        )

@@ -1,0 +1,88 @@
+"""The stochastic execution engine.
+
+Walks a :class:`~repro.isa.program.SyntheticProgram`'s CFG according to
+a :class:`~repro.sim.phases.SessionScript`, emitting
+:mod:`~repro.sim.events` with virtual-instruction timestamps.  The walk
+is deterministic given the master seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import RuntimeStateError
+from repro.isa.program import SyntheticProgram
+from repro.rand import RandomStreams
+from repro.sim.events import (
+    BlockExecuted,
+    ModuleLoaded,
+    ModuleUnloaded,
+    ProgramEnd,
+    SimEvent,
+)
+from repro.sim.phases import LoadModule, Segment, SessionScript, UnloadModule
+from repro.units import DEFAULT_INSTRUCTIONS_PER_BLOCK
+
+
+class ExecutionEngine:
+    """Drives one program through one session script."""
+
+    def __init__(
+        self,
+        program: SyntheticProgram,
+        script: SessionScript,
+        seed: int = 0,
+        instructions_per_block: int = DEFAULT_INSTRUCTIONS_PER_BLOCK,
+    ) -> None:
+        if instructions_per_block <= 0:
+            raise ValueError("instructions_per_block must be positive")
+        self.program = program
+        self.script = script
+        self._rng = RandomStreams(seed).get("engine")
+        self._ipb = instructions_per_block
+        self.time = 0
+
+    def run(self) -> Iterator[SimEvent]:
+        """Yield the full event stream for the session."""
+        for step in self.script.steps:
+            if isinstance(step, Segment):
+                yield from self._run_segment(step)
+            elif isinstance(step, LoadModule):
+                self.program.load_module(step.module_id)
+                yield ModuleLoaded(time=self.time, module_id=step.module_id)
+            elif isinstance(step, UnloadModule):
+                self.program.unload_module(step.module_id)
+                yield ModuleUnloaded(time=self.time, module_id=step.module_id)
+            else:  # pragma: no cover - exhaustive over ScriptStep
+                raise RuntimeStateError(f"unknown script step {step!r}")
+        yield ProgramEnd(time=self.time)
+
+    def _run_segment(self, segment: Segment) -> Iterator[SimEvent]:
+        block_id = segment.entry_block
+        for _ in range(segment.n_blocks):
+            module = self.program.module_of_block(block_id)
+            if not module.loaded:
+                raise RuntimeStateError(
+                    f"segment entered block {block_id} of unloaded module "
+                    f"{module.name!r}"
+                )
+            self.time += self._block_cost(block_id)
+            yield BlockExecuted(time=self.time, block_id=block_id)
+            successor = self.program.cfg.sample_successor(
+                block_id, self._rng.random()
+            )
+            if successor is None:
+                return  # terminal block ends the segment early
+            block_id = successor
+
+    def _block_cost(self, block_id: int) -> int:
+        """Virtual instructions charged for executing *block_id*: one
+        per instruction in the block, or a flat default for blocks with
+        empty bodies."""
+        block = self.program.blocks[block_id]
+        return len(block.instructions) or self._ipb
+
+
+def collect_events(engine: ExecutionEngine) -> list[SimEvent]:
+    """Materialize an engine's full event stream (testing helper)."""
+    return list(engine.run())

@@ -1,0 +1,43 @@
+"""Events emitted by the execution engine.
+
+Times are virtual instruction counts, monotonically non-decreasing
+across the whole run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BlockExecuted:
+    """The program executed one basic block."""
+
+    time: int
+    block_id: int
+
+
+@dataclass(frozen=True)
+class ModuleLoaded:
+    """A module was mapped into the address space."""
+
+    time: int
+    module_id: int
+
+
+@dataclass(frozen=True)
+class ModuleUnloaded:
+    """A module was unmapped; its code addresses may be reused."""
+
+    time: int
+    module_id: int
+
+
+@dataclass(frozen=True)
+class ProgramEnd:
+    """The program terminated; *time* is the total execution time."""
+
+    time: int
+
+
+SimEvent = BlockExecuted | ModuleLoaded | ModuleUnloaded | ProgramEnd

@@ -1,0 +1,70 @@
+"""Session scripts: the phase structure of a run.
+
+A script is a sequence of steps.  :class:`Segment` steps execute the
+program from an entry block for a bounded number of blocks (an
+interactive app's "handle this click" or a SPEC program's "main loop
+for a while"); :class:`LoadModule`/:class:`UnloadModule` steps model
+DLL churn between phases.  The U-shaped lifetime distribution emerges
+from scripts that run startup segments once, steady-state segments
+throughout, and phase-local segments in bounded windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Segment:
+    """Execute from *entry_block* until *n_blocks* blocks have run (or
+    a terminal block is reached)."""
+
+    entry_block: int
+    n_blocks: int
+
+    def __post_init__(self) -> None:
+        if self.n_blocks <= 0:
+            raise WorkloadError(f"segment must execute >= 1 block, got {self.n_blocks}")
+
+
+@dataclass(frozen=True)
+class LoadModule:
+    """Map a module before continuing."""
+
+    module_id: int
+
+
+@dataclass(frozen=True)
+class UnloadModule:
+    """Unmap a module before continuing (its traces must die)."""
+
+    module_id: int
+
+
+ScriptStep = Segment | LoadModule | UnloadModule
+
+
+@dataclass
+class SessionScript:
+    """An ordered list of steps driving one run.
+
+    Attributes:
+        steps: Segments and module load/unload directives.
+        duration_seconds: Wall-clock duration this script represents
+            (copied into the recorded log for rate metrics).
+    """
+
+    steps: list[ScriptStep] = field(default_factory=list)
+    duration_seconds: float = 1.0
+
+    def add(self, step: ScriptStep) -> "SessionScript":
+        """Append a step (chainable)."""
+        self.steps.append(step)
+        return self
+
+    @property
+    def total_blocks(self) -> int:
+        """Upper bound on blocks the script executes."""
+        return sum(s.n_blocks for s in self.steps if isinstance(s, Segment))

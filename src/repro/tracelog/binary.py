@@ -1,0 +1,197 @@
+"""Compact binary serialization of trace logs.
+
+The text format (:mod:`repro.tracelog.writer`) is the canonical,
+inspectable artifact; this module adds a varint-packed binary variant
+several times smaller and faster to parse, for archiving the large
+interactive-application logs.
+
+Encoding: every integer is an unsigned LEB128 varint, and record times
+are *delta-encoded* against the previous record (logs are time-sorted,
+so deltas are small).  Layout::
+
+    header:  magic "RTL2" | varint name_len | name utf-8
+             f64 duration_seconds | varint code_footprint
+             varint n_records
+    record:  varint tag | varint dtime | payload
+       tag 1 create:  varint trace_id | varint size | varint module_id
+       tag 2 access:  varint trace_id | varint repeat
+       tag 3 unmap:   varint module_id
+       tag 4 pin:     varint trace_id
+       tag 5 unpin:   varint trace_id
+       tag 6 end:     (no payload)
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+
+from repro.errors import LogFormatError
+from repro.tracelog.records import (
+    EndOfLog,
+    LogRecord,
+    ModuleUnmap,
+    TraceAccess,
+    TraceCreate,
+    TraceLog,
+    TracePin,
+    TraceUnpin,
+)
+
+MAGIC = b"RTL2"
+
+_TAG_CREATE = 1
+_TAG_ACCESS = 2
+_TAG_UNMAP = 3
+_TAG_PIN = 4
+_TAG_UNPIN = 5
+_TAG_END = 6
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise LogFormatError(f"cannot varint-encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+class _Reader:
+    """Byte cursor with varint decoding."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def bytes(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise LogFormatError("truncated binary log")
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def varint(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            if self.pos >= len(self.data):
+                raise LogFormatError("truncated varint in binary log")
+            byte = self.data[self.pos]
+            self.pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+            if shift > 63:
+                raise LogFormatError("varint too long in binary log")
+
+
+def dumps_binary(log: TraceLog) -> bytes:
+    """Serialize *log* to compact bytes."""
+    out = bytearray()
+    out += MAGIC
+    name = log.benchmark.encode("utf-8")
+    _write_varint(out, len(name))
+    out += name
+    out += struct.pack("<d", log.duration_seconds)
+    _write_varint(out, log.code_footprint)
+    _write_varint(out, len(log.records))
+    previous_time = 0
+    for record in log.records:
+        delta = record.time - previous_time
+        if delta < 0:
+            raise LogFormatError("binary format requires time-sorted records")
+        previous_time = record.time
+        if isinstance(record, TraceCreate):
+            _write_varint(out, _TAG_CREATE)
+            _write_varint(out, delta)
+            _write_varint(out, record.trace_id)
+            _write_varint(out, record.size)
+            _write_varint(out, record.module_id)
+        elif isinstance(record, TraceAccess):
+            _write_varint(out, _TAG_ACCESS)
+            _write_varint(out, delta)
+            _write_varint(out, record.trace_id)
+            _write_varint(out, record.repeat)
+        elif isinstance(record, ModuleUnmap):
+            _write_varint(out, _TAG_UNMAP)
+            _write_varint(out, delta)
+            _write_varint(out, record.module_id)
+        elif isinstance(record, TracePin):
+            _write_varint(out, _TAG_PIN)
+            _write_varint(out, delta)
+            _write_varint(out, record.trace_id)
+        elif isinstance(record, TraceUnpin):
+            _write_varint(out, _TAG_UNPIN)
+            _write_varint(out, delta)
+            _write_varint(out, record.trace_id)
+        elif isinstance(record, EndOfLog):
+            _write_varint(out, _TAG_END)
+            _write_varint(out, delta)
+        else:
+            raise LogFormatError(f"unknown record type: {type(record).__name__}")
+    return bytes(out)
+
+
+def loads_binary(data: bytes, validate: bool = True) -> TraceLog:
+    """Parse a binary log from bytes."""
+    reader = _Reader(data)
+    if reader.bytes(4) != MAGIC:
+        raise LogFormatError("bad binary-log magic")
+    name = reader.bytes(reader.varint()).decode("utf-8")
+    (duration,) = struct.unpack("<d", reader.bytes(8))
+    footprint = reader.varint()
+    n_records = reader.varint()
+    log = TraceLog(
+        benchmark=name, duration_seconds=duration, code_footprint=footprint
+    )
+    records: list[LogRecord] = []
+    time = 0
+    for _ in range(n_records):
+        tag = reader.varint()
+        time += reader.varint()
+        if tag == _TAG_CREATE:
+            records.append(
+                TraceCreate(
+                    time=time,
+                    trace_id=reader.varint(),
+                    size=reader.varint(),
+                    module_id=reader.varint(),
+                )
+            )
+        elif tag == _TAG_ACCESS:
+            records.append(
+                TraceAccess(
+                    time=time, trace_id=reader.varint(), repeat=reader.varint()
+                )
+            )
+        elif tag == _TAG_UNMAP:
+            records.append(ModuleUnmap(time=time, module_id=reader.varint()))
+        elif tag == _TAG_PIN:
+            records.append(TracePin(time=time, trace_id=reader.varint()))
+        elif tag == _TAG_UNPIN:
+            records.append(TraceUnpin(time=time, trace_id=reader.varint()))
+        elif tag == _TAG_END:
+            records.append(EndOfLog(time=time))
+        else:
+            raise LogFormatError(f"unknown binary record tag {tag}")
+    log.records = records
+    if validate:
+        log.validate()
+    return log
+
+
+def write_binary_log(log: TraceLog, path: str | Path) -> None:
+    """Write *log* to a binary file."""
+    Path(path).write_bytes(dumps_binary(log))
+
+
+def read_binary_log(path: str | Path, validate: bool = True) -> TraceLog:
+    """Read a binary log file."""
+    return loads_binary(Path(path).read_bytes(), validate=validate)

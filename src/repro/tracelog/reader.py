@@ -1,0 +1,110 @@
+"""Parsing and validating trace logs written by :mod:`repro.tracelog.writer`."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import LogFormatError
+from repro.tracelog.records import (
+    EndOfLog,
+    LogRecord,
+    ModuleUnmap,
+    TraceAccess,
+    TraceCreate,
+    TraceLog,
+    TracePin,
+    TraceUnpin,
+)
+from repro.tracelog.writer import HEADER_MAGIC
+
+
+def _parse_header_line(line: str) -> dict[str, str]:
+    """Parse ``# key=value key=value`` metadata."""
+    fields: dict[str, str] = {}
+    for token in line.lstrip("#").split():
+        if "=" not in token:
+            raise LogFormatError(f"malformed header token: {token!r}")
+        key, _, value = token.partition("=")
+        fields[key] = value
+    return fields
+
+
+def _parse_record(line: str, line_no: int) -> LogRecord:
+    parts = line.split()
+    tag = parts[0]
+    try:
+        if tag == "C":
+            return TraceCreate(
+                time=int(parts[1]),
+                trace_id=int(parts[2]),
+                size=int(parts[3]),
+                module_id=int(parts[4]),
+            )
+        if tag == "A":
+            repeat = int(parts[3]) if len(parts) > 3 else 1
+            return TraceAccess(time=int(parts[1]), trace_id=int(parts[2]), repeat=repeat)
+        if tag == "U":
+            return ModuleUnmap(time=int(parts[1]), module_id=int(parts[2]))
+        if tag == "P":
+            return TracePin(time=int(parts[1]), trace_id=int(parts[2]))
+        if tag == "N":
+            return TraceUnpin(time=int(parts[1]), trace_id=int(parts[2]))
+        if tag == "E":
+            return EndOfLog(time=int(parts[1]))
+    except (IndexError, ValueError) as exc:
+        raise LogFormatError(f"line {line_no}: malformed record {line!r}") from exc
+    raise LogFormatError(f"line {line_no}: unknown record tag {tag!r}")
+
+
+def parse_lines(lines: Iterable[str], validate: bool = True) -> TraceLog:
+    """Parse an iterable of log lines into a :class:`TraceLog`.
+
+    Args:
+        lines: Lines including the two header lines.
+        validate: Run full structural validation after parsing.
+
+    Raises:
+        LogFormatError: on any malformed line or (if *validate*) on a
+            structurally invalid log.
+    """
+    iterator = iter(lines)
+    try:
+        magic = next(iterator).rstrip("\n")
+    except StopIteration:
+        raise LogFormatError("empty log") from None
+    if magic.strip() != HEADER_MAGIC:
+        raise LogFormatError(f"bad magic line: {magic!r}")
+    try:
+        meta_line = next(iterator).rstrip("\n")
+    except StopIteration:
+        raise LogFormatError("missing metadata header") from None
+    meta = _parse_header_line(meta_line)
+    for key in ("benchmark", "duration", "footprint"):
+        if key not in meta:
+            raise LogFormatError(f"metadata header missing {key!r}")
+
+    log = TraceLog(
+        benchmark=meta["benchmark"],
+        duration_seconds=float(meta["duration"]),
+        code_footprint=int(meta["footprint"]),
+    )
+    for line_no, raw in enumerate(iterator, start=3):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        log.records.append(_parse_record(line, line_no))
+    if validate:
+        log.validate()
+    return log
+
+
+def read_log(path: str | Path, validate: bool = True) -> TraceLog:
+    """Read and parse the log file at *path*."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return parse_lines(stream, validate=validate)
+
+
+def loads_log(text: str, validate: bool = True) -> TraceLog:
+    """Parse a log from an in-memory string."""
+    return parse_lines(text.splitlines(), validate=validate)

@@ -1,0 +1,78 @@
+"""Text serialization of trace logs.
+
+The format is a line-oriented plain-text file, one record per line,
+with a three-line header.  It is deliberately simple — the point is a
+stable artifact that can be recorded once and replayed against every
+cache configuration, like the paper's verbose DynamoRIO logs.
+
+Format::
+
+    # repro-tracelog v1
+    # benchmark=<name> duration=<seconds> footprint=<bytes>
+    C <time> <trace_id> <size> <module_id>     (trace create)
+    A <time> <trace_id> <repeat>               (trace access)
+    U <time> <module_id>                       (module unmap)
+    P <time> <trace_id>                        (pin undeletable)
+    N <time> <trace_id>                        (unpin)
+    E <time>                                   (end of log)
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.errors import LogFormatError
+from repro.tracelog.records import (
+    EndOfLog,
+    LogRecord,
+    ModuleUnmap,
+    TraceAccess,
+    TraceCreate,
+    TraceLog,
+    TracePin,
+    TraceUnpin,
+)
+
+HEADER_MAGIC = "# repro-tracelog v1"
+
+
+def format_record(record: LogRecord) -> str:
+    """Render one record as its log line."""
+    if isinstance(record, TraceCreate):
+        return f"C {record.time} {record.trace_id} {record.size} {record.module_id}"
+    if isinstance(record, TraceAccess):
+        return f"A {record.time} {record.trace_id} {record.repeat}"
+    if isinstance(record, ModuleUnmap):
+        return f"U {record.time} {record.module_id}"
+    if isinstance(record, TracePin):
+        return f"P {record.time} {record.trace_id}"
+    if isinstance(record, TraceUnpin):
+        return f"N {record.time} {record.trace_id}"
+    if isinstance(record, EndOfLog):
+        return f"E {record.time}"
+    raise LogFormatError(f"unknown record type: {type(record).__name__}")
+
+
+def dump_log(log: TraceLog, stream: io.TextIOBase) -> None:
+    """Write *log* to an open text stream."""
+    stream.write(HEADER_MAGIC + "\n")
+    stream.write(
+        f"# benchmark={log.benchmark} duration={log.duration_seconds} "
+        f"footprint={log.code_footprint}\n"
+    )
+    for record in log.records:
+        stream.write(format_record(record) + "\n")
+
+
+def write_log(log: TraceLog, path: str | Path) -> None:
+    """Write *log* to a file at *path*."""
+    with open(path, "w", encoding="utf-8") as stream:
+        dump_log(log, stream)
+
+
+def dumps_log(log: TraceLog) -> str:
+    """Serialize *log* to a string."""
+    buffer = io.StringIO()
+    dump_log(log, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,31 @@
+"""Unified lookup over both benchmark suites."""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.interactive import INTERACTIVE_PROFILES
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.spec2000 import SPEC2000_PROFILES
+
+
+def all_profiles() -> tuple[WorkloadProfile, ...]:
+    """Every benchmark in paper order: SPEC2000 then interactive."""
+    return SPEC2000_PROFILES + INTERACTIVE_PROFILES
+
+
+def profiles_for_suite(suite: str) -> tuple[WorkloadProfile, ...]:
+    """All profiles of one suite (``"spec"`` or ``"interactive"``)."""
+    if suite == "spec":
+        return SPEC2000_PROFILES
+    if suite == "interactive":
+        return INTERACTIVE_PROFILES
+    raise WorkloadError(f"unknown suite {suite!r}; use 'spec' or 'interactive'")
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up any benchmark by name across both suites."""
+    for profile in all_profiles():
+        if profile.name == name:
+            return profile
+    names = sorted(p.name for p in all_profiles())
+    raise WorkloadError(f"unknown benchmark {name!r}; choose from {names}")

@@ -1,0 +1,111 @@
+"""Full-pipeline workload generation.
+
+Builds an actual :class:`~repro.isa.program.SyntheticProgram` and
+:class:`~repro.sim.phases.SessionScript` from a profile, so the
+complete stack — engine walk, bb cache, trace-head counters, NET trace
+construction — produces the log, instead of synthesizing it directly.
+This path is slower but exercises the entire dynamic-optimizer front
+end; it backs the examples and the pipeline integration tests, while
+the evaluation harness uses :mod:`repro.workloads.synthesis` for the
+calibrated 38-benchmark catalog.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.isa.modules import Module, ModuleKind
+from repro.isa.program import ProgramBuilder, SyntheticProgram
+from repro.rand import RandomStreams
+from repro.runtime.system import record_session
+from repro.sim.phases import LoadModule, Segment, SessionScript, UnloadModule
+from repro.tracelog.records import TraceLog
+from repro.workloads.profiles import WorkloadProfile
+
+
+def build_program(
+    profile: WorkloadProfile,
+    seed: int = 0,
+    loops_per_phase: int = 6,
+    loop_blocks: int = 3,
+) -> tuple[SyntheticProgram, SessionScript]:
+    """Construct a program + session script shaped like *profile*.
+
+    The program gets one startup region, a persistent hot-loop region
+    (the long-lived core), and per-phase regions of transient loops;
+    interactive profiles place each phase's region in an unloadable DLL
+    that the script unmaps at phase end.  Loop trip counts exceed the
+    trace-creation threshold so every loop head becomes a trace.
+
+    Returns:
+        ``(program, script)`` ready for
+        :func:`~repro.runtime.system.record_session`.
+    """
+    if loops_per_phase < 1 or loop_blocks < 1:
+        raise WorkloadError("loops_per_phase and loop_blocks must be >= 1")
+    rng = RandomStreams(seed).fork(profile.name).get("program")
+    builder = ProgramBuilder(profile.name)
+    main = builder.add_module(f"{profile.name}.exe", ModuleKind.EXECUTABLE)
+
+    # Startup region: a chain of run-once loops (short-lived traces).
+    entry = builder.add_block(main, body_length=4)
+    builder.set_entry(entry)
+    cursor = entry
+    for _ in range(loops_per_phase):
+        head, cursor = _attach_loop(builder, main, cursor, rng, iterations=80)
+
+    # Persistent core: hot loops revisited by every phase segment.
+    core_heads = []
+    for _ in range(loops_per_phase):
+        head, cursor = _attach_loop(builder, main, cursor, rng, iterations=400)
+        core_heads.append(head)
+
+    script = SessionScript(duration_seconds=profile.duration_seconds)
+    script.add(Segment(entry_block=entry.block_id, n_blocks=8_000))
+
+    # Phase regions: transient loops, optionally in unloadable DLLs.
+    interactive = profile.suite == "interactive"
+    n_phases = min(profile.n_phases, 12)  # keep the pipeline tractable
+    for phase in range(n_phases):
+        if interactive:
+            dll: Module | None = builder.add_module(
+                f"{profile.name}-phase{phase}.dll",
+                ModuleKind.PLUGIN_DLL,
+                unloadable=True,
+                loaded=False,
+            )
+            script.add(LoadModule(module_id=dll.module_id))
+            region_module = dll
+        else:
+            region_module = main
+        region_entry = builder.add_block(region_module, body_length=4)
+        region_cursor = region_entry
+        for _ in range(loops_per_phase):
+            _, region_cursor = _attach_loop(
+                builder, region_module, region_cursor, rng, iterations=120,
+                loop_blocks=loop_blocks,
+            )
+        script.add(Segment(entry_block=region_entry.block_id, n_blocks=6_000))
+        # Revisit the persistent core between phases.
+        core = rng.choice(core_heads)
+        script.add(Segment(entry_block=core.block_id, n_blocks=3_000))
+        if interactive:
+            script.add(UnloadModule(module_id=region_module.module_id))
+
+    return builder.finish(), script
+
+
+def _attach_loop(builder, module, cursor, rng, iterations, loop_blocks=3):
+    """Add a loop reachable from *cursor*; returns (head, new cursor)."""
+    head, exit_block = builder.add_loop(
+        module,
+        body_blocks=loop_blocks,
+        iterations_mean=float(iterations + rng.randint(-10, 10)),
+    )
+    builder.connect(cursor, head, 1.0)
+    return head, exit_block
+
+
+def build_session(profile: WorkloadProfile, seed: int = 0) -> TraceLog:
+    """Build the program and record the full-pipeline log in one go."""
+    program, script = build_program(profile, seed=seed)
+    return record_session(program, script, seed=seed)

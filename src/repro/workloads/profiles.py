@@ -1,0 +1,138 @@
+"""WorkloadProfile: the calibrated knobs of one synthetic benchmark.
+
+A profile pins the aggregates the paper reports per benchmark
+(Figures 1-4, Table 1) and the behavioural parameters that give the
+recorded log the right cache-management difficulty (phase structure,
+re-access factors, lifetime mix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.units import KB
+
+
+@dataclass(frozen=True)
+class LifetimeMix:
+    """Fractions of traces (by count) per lifetime class.
+
+    The paper's Figure 6 shows a U shape: most traces live either
+    < 20% or > 80% of the run.
+
+    Attributes:
+        short: Fraction of short-lived traces (lifetime < 20%).
+        medium: Fraction of medium-lived traces.
+        long: Fraction of long-lived traces (lifetime > 80%).
+    """
+
+    short: float
+    medium: float
+    long: float
+
+    def __post_init__(self) -> None:
+        total = self.short + self.medium + self.long
+        if abs(total - 1.0) > 1e-9:
+            raise WorkloadError(f"lifetime mix sums to {total}, expected 1.0")
+        for name, value in (
+            ("short", self.short),
+            ("medium", self.medium),
+            ("long", self.long),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise WorkloadError(f"lifetime mix {name}={value} outside [0, 1]")
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Everything needed to synthesize one benchmark's trace log.
+
+    Attributes:
+        name: Benchmark name (e.g. ``"gcc"``, ``"word"``).
+        suite: ``"spec"`` or ``"interactive"``.
+        description: Table 1-style description.
+        total_trace_kb: KB of traces generated over the whole run at
+            scale 1 — the unbounded code cache size (Figure 1).
+        duration_seconds: Run duration (Table 1 / derived for SPEC).
+        code_expansion: Equation 1 value used to derive the static
+            footprint (Figure 2; ~5.0 on average for both suites).
+        unmap_fraction: Target fraction of trace bytes deleted due to
+            unmapped memory (Figure 4; ~0 for SPEC).
+        lifetime_mix: Count fractions per lifetime class (Figure 6).
+        median_trace_bytes: Median trace size (paper median: 242 B).
+        n_phases: Program phases; interactive apps have many (user
+            events), SPEC few.
+        reaccess_short: Mean accesses per short-lived trace within its
+            window (drives conflict pressure).
+        reaccess_long: Mean accesses per long-lived trace *per phase*.
+        burst_repeat: Mean consecutive-entry repeat per access record
+            (loop re-entry bursts).
+        hot_records: Target number of re-entry records per hot
+            long-lived trace over the whole run.  High values model
+            code re-dispatched constantly (GUI/render loops); low
+            values model tight loops that stay inside one trace for
+            a long time between dispatcher entries (the art shape).
+        pin_fraction: Fraction of traces that get pinned (undeletable)
+            for a stretch of the run.
+        default_scale: Divisor applied to trace counts for tractable
+            simulation; experiments report the scale they ran at.
+    """
+
+    name: str
+    suite: str
+    description: str
+    total_trace_kb: float
+    duration_seconds: float
+    code_expansion: float = 5.0
+    unmap_fraction: float = 0.0
+    lifetime_mix: LifetimeMix = field(
+        default_factory=lambda: LifetimeMix(short=0.45, medium=0.15, long=0.40)
+    )
+    median_trace_bytes: int = 242
+    n_phases: int = 4
+    reaccess_short: float = 8.0
+    reaccess_long: float = 40.0
+    burst_repeat: float = 4.0
+    hot_records: int = 240
+    pin_fraction: float = 0.002
+    default_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.suite not in ("spec", "interactive"):
+            raise WorkloadError(f"unknown suite {self.suite!r}")
+        if self.total_trace_kb <= 0:
+            raise WorkloadError("total_trace_kb must be positive")
+        if self.duration_seconds <= 0:
+            raise WorkloadError("duration_seconds must be positive")
+        if self.code_expansion <= 0:
+            raise WorkloadError("code_expansion must be positive")
+        if not 0.0 <= self.unmap_fraction < 1.0:
+            raise WorkloadError("unmap_fraction must be in [0, 1)")
+        if self.n_phases < 1:
+            raise WorkloadError("n_phases must be >= 1")
+        if self.median_trace_bytes < 16:
+            raise WorkloadError("median_trace_bytes unrealistically small")
+
+    @property
+    def total_trace_bytes(self) -> int:
+        """Unbounded cache size in bytes at scale 1."""
+        return int(self.total_trace_kb * KB)
+
+    @property
+    def code_footprint_bytes(self) -> int:
+        """Static application footprint implied by Equation 1."""
+        return max(1, int(self.total_trace_bytes / self.code_expansion))
+
+    @property
+    def insertion_rate_kb_per_s(self) -> float:
+        """Figure 3's metric implied by size and duration."""
+        return self.total_trace_kb / self.duration_seconds
+
+    def scaled_trace_bytes(self, scale: float | None = None) -> int:
+        """Total trace bytes after applying *scale* (default: the
+        profile's own)."""
+        factor = self.default_scale if scale is None else scale
+        if factor <= 0:
+            raise WorkloadError(f"scale must be positive, got {factor}")
+        return max(1, int(self.total_trace_bytes / factor))

@@ -1,0 +1,146 @@
+"""Calibrated SPEC2000-like workload profiles.
+
+The 26 benchmarks of the SPEC2000 suite, executed to completion on
+Linux with reference inputs in the paper.  Per-benchmark values are
+calibrated to the aggregates the paper reports:
+
+* Figure 1a — unbounded cache sizes averaging ~736 KB, with gcc at
+  4.3 MB and vortex at 1.6 MB as the two outliers;
+* Figure 3a — insertion rates mostly below 5 KB/s, except gcc
+  (232 KB/s) and perlbmk (89 KB/s);
+* Figure 4 — essentially no unmapped code (SPEC loads no transient
+  DLLs);
+* Figure 6a — U-shaped lifetimes, biased long (loop-dominated codes);
+* Figure 2a — code expansion around 500% with a larger spread than
+  the interactive suite (111% std dev).
+
+Durations are derived as size/rate so Figures 1 and 3 stay mutually
+consistent.  Behavioural knobs encode the evaluation's per-benchmark
+texture: ``art`` is the tiny loop-bound outlier that generational
+caching hurts; ``eon``, ``vpr`` and ``applu`` are medium-lifetime-heavy
+codes whose promotion traffic outweighs their miss savings (Figure 11);
+``gzip`` and ``crafty`` are the big winners.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.profiles import LifetimeMix, WorkloadProfile
+
+
+def _spec(
+    name: str,
+    description: str,
+    kb: float,
+    rate_kb_s: float,
+    mix: LifetimeMix,
+    expansion: float = 5.0,
+    n_phases: int = 4,
+    reaccess_short: float = 8.0,
+    reaccess_long: float = 30.0,
+    default_scale: float = 1.0,
+    **extra: float,
+) -> WorkloadProfile:
+    return WorkloadProfile(
+        name=name,
+        suite="spec",
+        description=description,
+        total_trace_kb=kb,
+        duration_seconds=kb / rate_kb_s,
+        code_expansion=expansion,
+        unmap_fraction=0.0,
+        lifetime_mix=mix,
+        n_phases=n_phases,
+        reaccess_short=reaccess_short,
+        reaccess_long=reaccess_long,
+        default_scale=default_scale,
+        **extra,
+    )
+
+
+#: Loop-heavy default mix for SPEC codes (Figure 6a's shape).
+_LOOPY = LifetimeMix(short=0.39, medium=0.19, long=0.42)
+#: Phase-heavy mix (compiler-like codes with many transient regions).
+_PHASED = LifetimeMix(short=0.47, medium=0.13, long=0.40)
+#: Medium-heavy mix: traces that live long enough to get promoted but
+#: die before the promotion pays for itself (the eon/vpr/applu shape).
+_MEDIUM_HEAVY = LifetimeMix(short=0.36, medium=0.34, long=0.30)
+#: Tight-loop mix: nearly everything lives forever (the art shape,
+#: whose working set overflows every cache sized below its footprint).
+_TIGHT_LOOP = LifetimeMix(short=0.08, medium=0.07, long=0.85)
+#: Kernel-loop mix for the small FP stencil codes: long-lived biased,
+#: but less pathologically than art.
+_KERNEL_LOOP = LifetimeMix(short=0.40, medium=0.20, long=0.40)
+
+SPEC2000_PROFILES: tuple[WorkloadProfile, ...] = (
+    # ----- CINT2000 -------------------------------------------------
+    _spec("gzip", "Compression", 180, 1.5, _PHASED,
+          expansion=4.2, n_phases=6, reaccess_short=10.0),
+    _spec("vpr", "FPGA placement/routing", 350, 2.8, _MEDIUM_HEAVY,
+          expansion=5.1, n_phases=3),
+    _spec("gcc", "C compiler", 4300, 232.0, _PHASED,
+          expansion=7.4, n_phases=8, reaccess_short=6.0, default_scale=4.0),
+    _spec("mcf", "Combinatorial optimization", 150, 0.8, _LOOPY,
+          expansion=3.6, n_phases=2),
+    _spec("crafty", "Chess", 800, 3.2, _PHASED,
+          expansion=5.6, n_phases=7, reaccess_short=12.0),
+    _spec("parser", "Word processing", 550, 1.9, _PHASED,
+          expansion=4.9, n_phases=5),
+    _spec("eon", "Ray tracing", 1150, 4.1, _MEDIUM_HEAVY,
+          expansion=6.2, n_phases=3),
+    _spec("perlbmk", "Perl interpreter", 1350, 89.0, _PHASED,
+          expansion=6.8, n_phases=7, reaccess_short=7.0),
+    _spec("gap", "Group theory", 750, 3.5, _LOOPY,
+          expansion=5.2, n_phases=4),
+    _spec("vortex", "Object-oriented database", 1600, 4.8, _PHASED,
+          expansion=6.1, n_phases=6, default_scale=2.0),
+    _spec("bzip2", "Compression", 210, 1.2, _LOOPY,
+          expansion=3.9, n_phases=3),
+    _spec("twolf", "Place and route", 560, 1.6, _LOOPY,
+          expansion=4.7, n_phases=3),
+    # ----- CFP2000 --------------------------------------------------
+    _spec("wupwise", "Quantum chromodynamics", 260, 1.1, _LOOPY,
+          expansion=4.1, n_phases=2),
+    _spec("swim", "Shallow water modeling", 130, 0.6, _KERNEL_LOOP,
+          expansion=3.2, n_phases=2),
+    _spec("mgrid", "Multi-grid solver", 140, 0.5, _KERNEL_LOOP,
+          expansion=3.4, n_phases=2),
+    _spec("applu", "Parabolic/elliptic PDEs", 310, 1.0, _MEDIUM_HEAVY,
+          expansion=4.4, n_phases=3),
+    _spec("mesa", "3D graphics library", 1100, 3.9, _PHASED,
+          expansion=6.3, n_phases=5),
+    _spec("galgel", "Computational fluid dynamics", 660, 2.1, _LOOPY,
+          expansion=5.0, n_phases=3),
+    # art stays inside its few loop traces for ages between dispatcher
+    # entries: few re-entry records with huge repeats.  Its hot set
+    # also overflows every sub-footprint cache — the paper's negative
+    # outlier for which "cache management is least critical".
+    _spec("art", "Neural network simulation", 64, 0.4, _TIGHT_LOOP,
+          expansion=2.8, n_phases=2, reaccess_long=200.0, hot_records=16),
+    _spec("equake", "Seismic wave propagation", 190, 0.9, _LOOPY,
+          expansion=3.8, n_phases=2),
+    _spec("facerec", "Face recognition", 500, 1.3, _LOOPY,
+          expansion=4.6, n_phases=3),
+    _spec("ammp", "Computational chemistry", 560, 1.5, _LOOPY,
+          expansion=4.8, n_phases=3),
+    _spec("lucas", "Number theory", 170, 0.7, _KERNEL_LOOP,
+          expansion=3.3, n_phases=2),
+    _spec("fma3d", "Finite-element crash simulation", 1250, 3.6, _PHASED,
+          expansion=6.5, n_phases=4),
+    _spec("sixtrack", "Particle accelerator model", 1100, 2.9, _LOOPY,
+          expansion=5.8, n_phases=3),
+    _spec("apsi", "Meteorology", 700, 2.2, _LOOPY,
+          expansion=5.1, n_phases=3),
+)
+
+_BY_NAME = {profile.name: profile for profile in SPEC2000_PROFILES}
+
+
+def spec2000_profile(name: str) -> WorkloadProfile:
+    """Look up one SPEC2000 profile by benchmark name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown SPEC2000 benchmark {name!r}; "
+            f"choose from {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,182 @@
+"""Unit tests for the log-replay simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cachesim.simulator import CacheSimulator, simulate_log
+from repro.core.config import GenerationalConfig
+from repro.core.generational import GenerationalCacheManager
+from repro.core.unified import UnifiedCacheManager
+from repro.errors import LogFormatError
+from repro.overhead.model import TABLE2_COSTS
+from repro.tracelog.records import (
+    EndOfLog,
+    ModuleUnmap,
+    TraceAccess,
+    TraceCreate,
+    TraceLog,
+    TracePin,
+    TraceUnpin,
+)
+
+from tests.conftest import make_churn_log
+
+
+def log_of(records, benchmark="t") -> TraceLog:
+    log = TraceLog(benchmark=benchmark, duration_seconds=1.0, code_footprint=1000)
+    for record in records:
+        log.append(record)
+    return log
+
+
+class TestBasicReplay:
+    def test_access_after_create_is_hit(self):
+        log = log_of([
+            TraceCreate(time=1, trace_id=0, size=100, module_id=0),
+            TraceAccess(time=2, trace_id=0),
+            EndOfLog(time=3),
+        ])
+        result = simulate_log(log, UnifiedCacheManager(1000))
+        assert result.stats.accesses == 1
+        assert result.stats.hits == 1
+        assert result.stats.misses == 0
+        assert result.stats.creations == 1
+
+    def test_creation_is_not_a_miss(self, small_log):
+        result = simulate_log(small_log, UnifiedCacheManager(10_000))
+        assert result.stats.misses == 0
+        assert result.stats.creations == 6
+
+    def test_repeat_expansion(self):
+        log = log_of([
+            TraceCreate(time=1, trace_id=0, size=100, module_id=0),
+            TraceAccess(time=2, trace_id=0, repeat=10),
+            EndOfLog(time=3),
+        ])
+        result = simulate_log(log, UnifiedCacheManager(1000))
+        assert result.stats.accesses == 10
+        assert result.stats.hits == 10
+
+    def test_conflict_miss_regenerates_then_hits(self):
+        # Cache of 100 bytes holds exactly one trace.
+        log = log_of([
+            TraceCreate(time=1, trace_id=0, size=100, module_id=0),
+            TraceCreate(time=2, trace_id=1, size=100, module_id=0),
+            TraceAccess(time=3, trace_id=0, repeat=5),
+            EndOfLog(time=4),
+        ])
+        result = simulate_log(log, UnifiedCacheManager(100))
+        assert result.stats.misses == 1
+        assert result.stats.hits == 4
+
+    def test_access_before_create_raises(self):
+        log = TraceLog(benchmark="bad", duration_seconds=1.0, code_footprint=10)
+        log.records = [TraceAccess(time=1, trace_id=0)]
+        simulator = CacheSimulator(UnifiedCacheManager(1000))
+        with pytest.raises(LogFormatError):
+            simulator.run(log)
+
+    def test_hits_plus_misses_equals_accesses(self, churn_log):
+        result = simulate_log(churn_log, UnifiedCacheManager(2000))
+        result.stats.check_invariants()
+        assert result.stats.hits + result.stats.misses == result.stats.accesses
+
+
+class TestUnmapReplay:
+    def test_unmap_deletes_and_counts(self, small_log):
+        result = simulate_log(small_log, UnifiedCacheManager(10_000))
+        assert result.stats.unmap_evictions == 1
+
+    def test_unmap_of_absent_module_is_noop(self):
+        log = log_of([
+            TraceCreate(time=1, trace_id=0, size=100, module_id=0),
+            ModuleUnmap(time=2, module_id=9),
+            EndOfLog(time=3),
+        ])
+        result = simulate_log(log, UnifiedCacheManager(1000))
+        assert result.stats.unmap_evictions == 0
+
+
+class TestPinReplay:
+    def test_pin_protects_trace_through_churn(self):
+        records = [
+            TraceCreate(time=1, trace_id=0, size=100, module_id=0),
+            TracePin(time=2, trace_id=0),
+        ]
+        time = 3
+        for trace_id in range(1, 10):
+            records.append(
+                TraceCreate(time=time, trace_id=trace_id, size=100, module_id=0)
+            )
+            time += 1
+        records.append(TraceAccess(time=time, trace_id=0))
+        records.append(EndOfLog(time=time + 1))
+        result = simulate_log(log_of(records), UnifiedCacheManager(300))
+        # Trace 0 was pinned, so its final access must be a hit.
+        assert result.stats.misses == 0
+
+    def test_pending_pin_applies_on_reinsert(self):
+        records = [
+            TraceCreate(time=1, trace_id=0, size=100, module_id=0),
+            TraceCreate(time=2, trace_id=1, size=100, module_id=0),  # full
+            TraceCreate(time=3, trace_id=2, size=100, module_id=0),  # evicts 0
+            TracePin(time=4, trace_id=0),  # 0 absent; pin is pending
+            TraceAccess(time=5, trace_id=0),  # miss -> reinsert, pin applies
+            TraceCreate(time=6, trace_id=3, size=100, module_id=0),
+            TraceAccess(time=7, trace_id=0),  # must still be resident
+            EndOfLog(time=8),
+        ]
+        result = simulate_log(log_of(records), UnifiedCacheManager(200))
+        assert result.stats.misses == 1  # only the explicit regeneration
+
+    def test_unpin_releases(self):
+        records = [
+            TraceCreate(time=1, trace_id=0, size=100, module_id=0),
+            TracePin(time=2, trace_id=0),
+            TraceUnpin(time=3, trace_id=0),
+            TraceCreate(time=4, trace_id=1, size=100, module_id=0),
+            TraceAccess(time=5, trace_id=0),
+            EndOfLog(time=6),
+        ]
+        result = simulate_log(log_of(records), UnifiedCacheManager(100))
+        assert result.stats.misses == 1
+
+
+class TestDeterminismAndSharing:
+    def test_same_log_same_stats(self, churn_log):
+        a = simulate_log(churn_log, UnifiedCacheManager(2000))
+        b = simulate_log(churn_log, UnifiedCacheManager(2000))
+        assert a.stats == b.stats
+
+    def test_generational_replay_consistency(self, churn_log, default_config):
+        a = simulate_log(
+            churn_log, GenerationalCacheManager(2000, default_config)
+        )
+        b = simulate_log(
+            churn_log, GenerationalCacheManager(2000, default_config)
+        )
+        assert a.stats == b.stats
+        assert a.stats.promotions == b.stats.promotions
+
+    def test_overhead_account_attached(self, churn_log):
+        with_model = simulate_log(
+            churn_log, UnifiedCacheManager(2000), TABLE2_COSTS
+        )
+        without = simulate_log(churn_log, UnifiedCacheManager(2000))
+        assert with_model.overhead_instructions is not None
+        assert with_model.overhead_instructions > 0
+        assert without.overhead_instructions is None
+
+    def test_result_carries_final_state(self, churn_log, default_config):
+        result = simulate_log(
+            make_churn_log(n_traces=40),
+            GenerationalCacheManager(2000, default_config),
+        )
+        assert set(result.final_fragmentation) == {
+            "nursery", "probation", "persistent",
+        }
+        for value in result.final_fragmentation.values():
+            assert 0.0 <= value <= 1.0
+        for value in result.final_occupancy.values():
+            assert 0.0 <= value <= 1.0

@@ -1,0 +1,44 @@
+"""Unit tests for cache statistics containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cachesim.stats import CacheStats, SimulationResult
+
+
+class TestCacheStats:
+    def test_rates_zero_without_accesses(self):
+        stats = CacheStats()
+        assert stats.miss_rate == 0.0
+        assert stats.hit_rate == 0.0
+
+    def test_rates(self):
+        stats = CacheStats(accesses=100, hits=90, misses=10)
+        assert stats.miss_rate == pytest.approx(0.1)
+        assert stats.hit_rate == pytest.approx(0.9)
+
+    def test_record_hit_tracks_per_cache(self):
+        stats = CacheStats()
+        stats.accesses = 5
+        stats.record_hit("nursery", 3)
+        stats.record_hit("persistent", 1)
+        stats.misses = 1
+        assert stats.hits == 4
+        assert stats.hits_by_cache == {"nursery": 3, "persistent": 1}
+        stats.check_invariants()
+
+    def test_invariant_violation_detected(self):
+        stats = CacheStats(accesses=10, hits=3, misses=3)
+        with pytest.raises(AssertionError):
+            stats.check_invariants()
+
+
+class TestSimulationResult:
+    def test_miss_rate_passthrough(self):
+        result = SimulationResult(
+            benchmark="x",
+            manager_name="unified",
+            stats=CacheStats(accesses=10, hits=8, misses=2),
+        )
+        assert result.miss_rate == pytest.approx(0.2)

@@ -1,0 +1,91 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GenerationalConfig, PromotionMode
+from repro.tracelog.records import (
+    EndOfLog,
+    ModuleUnmap,
+    TraceAccess,
+    TraceCreate,
+    TraceLog,
+)
+
+
+@pytest.fixture
+def small_log() -> TraceLog:
+    """A tiny hand-written log: 6 traces, one unmap, mixed re-access."""
+    log = TraceLog(benchmark="tiny", duration_seconds=1.0, code_footprint=2000)
+    records = [
+        TraceCreate(time=10, trace_id=0, size=100, module_id=0),
+        TraceCreate(time=20, trace_id=1, size=150, module_id=0),
+        TraceAccess(time=30, trace_id=0, repeat=3),
+        TraceCreate(time=40, trace_id=2, size=120, module_id=1),
+        TraceAccess(time=50, trace_id=2),
+        TraceCreate(time=60, trace_id=3, size=200, module_id=0),
+        TraceAccess(time=70, trace_id=1),
+        ModuleUnmap(time=80, module_id=1),
+        TraceCreate(time=90, trace_id=4, size=90, module_id=0),
+        TraceAccess(time=100, trace_id=0, repeat=2),
+        TraceCreate(time=110, trace_id=5, size=110, module_id=0),
+        TraceAccess(time=120, trace_id=3),
+        EndOfLog(time=200),
+    ]
+    for record in records:
+        log.append(record)
+    return log
+
+
+@pytest.fixture
+def default_config() -> GenerationalConfig:
+    """The paper's best generational layout."""
+    return GenerationalConfig()
+
+
+@pytest.fixture
+def on_eviction_config() -> GenerationalConfig:
+    """A 34-33-33 on-eviction layout (Figure 9's first bar)."""
+    return GenerationalConfig(
+        nursery_fraction=0.34,
+        probation_fraction=0.33,
+        persistent_fraction=0.33,
+        promotion_threshold=10,
+        promotion_mode=PromotionMode.ON_EVICTION,
+    )
+
+
+def make_churn_log(
+    n_traces: int = 60,
+    size: int = 100,
+    accesses_per_trace: int = 4,
+    benchmark: str = "churn",
+) -> TraceLog:
+    """A log that creates traces continuously and re-accesses each a
+    few times shortly after creation — enough churn to force evictions
+    in any cache smaller than the total."""
+    log = TraceLog(
+        benchmark=benchmark,
+        duration_seconds=1.0,
+        code_footprint=n_traces * size,
+    )
+    time = 0
+    for trace_id in range(n_traces):
+        time += 10
+        log.append(TraceCreate(time=time, trace_id=trace_id, size=size, module_id=0))
+        for _ in range(accesses_per_trace):
+            time += 5
+            log.append(TraceAccess(time=time, trace_id=trace_id))
+        # Re-touch an older trace to create conflict pressure.
+        if trace_id >= 10:
+            time += 5
+            log.append(TraceAccess(time=time, trace_id=trace_id - 10))
+    log.append(EndOfLog(time=time + 10))
+    return log
+
+
+@pytest.fixture
+def churn_log() -> TraceLog:
+    """Default churn log fixture."""
+    return make_churn_log()

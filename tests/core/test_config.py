@@ -1,0 +1,75 @@
+"""Unit tests for GenerationalConfig."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    BEST_CONFIG,
+    FIGURE9_CONFIGS,
+    GenerationalConfig,
+    PromotionMode,
+)
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_default_is_the_papers_best_layout(self):
+        config = GenerationalConfig()
+        assert config.nursery_fraction == pytest.approx(0.45)
+        assert config.probation_fraction == pytest.approx(0.10)
+        assert config.persistent_fraction == pytest.approx(0.45)
+        assert config.promotion_threshold == 1
+        assert config.promotion_mode is PromotionMode.ON_HIT
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            GenerationalConfig(
+                nursery_fraction=0.5,
+                probation_fraction=0.1,
+                persistent_fraction=0.5,
+            )
+
+    def test_fractions_must_be_inside_unit_interval(self):
+        with pytest.raises(ConfigError):
+            GenerationalConfig(
+                nursery_fraction=0.0,
+                probation_fraction=0.5,
+                persistent_fraction=0.5,
+            )
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            GenerationalConfig(promotion_threshold=0)
+
+
+class TestSizes:
+    def test_sizes_sum_to_total(self):
+        for total in (1000, 999, 12345, 7):
+            nursery, probation, persistent = GenerationalConfig().sizes(total)
+            assert nursery + probation + persistent == total
+            assert min(nursery, probation, persistent) >= 1
+
+    def test_proportions_respected_for_large_totals(self):
+        nursery, probation, persistent = GenerationalConfig().sizes(1_000_000)
+        assert nursery == pytest.approx(450_000, rel=0.01)
+        assert probation == pytest.approx(100_000, rel=0.01)
+        assert persistent == pytest.approx(450_000, rel=0.01)
+
+    def test_tiny_total_rejected(self):
+        with pytest.raises(ConfigError):
+            GenerationalConfig().sizes(2)
+
+
+class TestCatalog:
+    def test_figure9_has_three_layouts(self):
+        assert len(FIGURE9_CONFIGS) == 3
+        labels = [c.label() for c in FIGURE9_CONFIGS]
+        assert "45-10-45 (thresh 1)" in labels
+
+    def test_best_config_is_45_10_45(self):
+        assert BEST_CONFIG.label() == "45-10-45 (thresh 1)"
+
+    def test_labels_are_unique(self):
+        labels = [c.label() for c in FIGURE9_CONFIGS]
+        assert len(set(labels)) == len(labels)

@@ -1,0 +1,73 @@
+"""Unit tests for the unified single-cache manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.effects import Evicted, EvictionReason, Inserted
+from repro.core.unified import UnifiedCacheManager
+from repro.errors import ConfigError
+
+
+class TestUnified:
+    def test_insert_reports_insertion_effect(self):
+        manager = UnifiedCacheManager(1000)
+        effects = manager.insert(1, 100, 0, time=5)
+        assert effects == [Inserted(trace_id=1, size=100, cache="unified")]
+
+    def test_lookup_and_hit(self):
+        manager = UnifiedCacheManager(1000)
+        manager.insert(1, 100, 0, time=5)
+        assert manager.lookup(1) == "unified"
+        outcome = manager.on_hit(1, time=10, count=3)
+        assert outcome.cache == "unified"
+        assert outcome.effects == []
+        assert manager.cache.get(1).access_count == 3
+
+    def test_capacity_eviction_effects(self):
+        manager = UnifiedCacheManager(200)
+        manager.insert(0, 100, 0, time=0)
+        manager.insert(1, 100, 0, time=1)
+        effects = manager.insert(2, 100, 0, time=2)
+        evictions = [e for e in effects if isinstance(e, Evicted)]
+        assert len(evictions) == 1
+        assert evictions[0].trace_id == 0
+        assert evictions[0].reason is EvictionReason.CAPACITY
+
+    def test_unmap_module_effects(self):
+        manager = UnifiedCacheManager(1000)
+        manager.insert(0, 100, module_id=3, time=0)
+        manager.insert(1, 100, module_id=0, time=1)
+        effects = manager.unmap_module(3, time=5)
+        assert len(effects) == 1
+        assert effects[0].reason is EvictionReason.UNMAP
+        assert manager.lookup(0) is None
+        assert manager.lookup(1) == "unified"
+
+    def test_pin_returns_false_for_absent_trace(self):
+        manager = UnifiedCacheManager(1000)
+        assert not manager.pin(42)
+        manager.insert(42, 100, 0, time=0)
+        assert manager.pin(42)
+        assert manager.cache.get(42).pinned
+
+    def test_flush_policy_marks_reason(self):
+        manager = UnifiedCacheManager(200, local_policy="preemptive-flush")
+        manager.insert(0, 100, 0, time=0)
+        manager.insert(1, 100, 0, time=1)
+        effects = manager.insert(2, 100, 0, time=2)
+        reasons = {e.reason for e in effects if isinstance(e, Evicted)}
+        assert reasons == {EvictionReason.FLUSH}
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            UnifiedCacheManager(1000, local_policy="belady")
+
+    def test_alternative_policies_construct(self):
+        for policy in ("lru", "circular", "unbounded", "pseudo-circular"):
+            manager = UnifiedCacheManager(1000, local_policy=policy)
+            manager.insert(0, 100, 0, time=0)
+            assert manager.lookup(0) == "unified"
+
+    def test_total_capacity(self):
+        assert UnifiedCacheManager(4096).total_capacity == 4096

@@ -1,0 +1,55 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.base import ExperimentResult
+from repro.experiments.charts import render_bar_chart
+
+
+def make_result(values):
+    result = ExperimentResult("fig-x", "demo", columns=["Benchmark", "Value"])
+    for index, value in enumerate(values):
+        result.add_row(Benchmark=f"b{index}", Value=value)
+    return result
+
+
+class TestBarChart:
+    def test_positive_bars(self):
+        chart = render_bar_chart(make_result([10.0, 20.0]), "Value")
+        lines = chart.splitlines()
+        assert "b0" in lines[1] and "b1" in lines[2]
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_negative_bars_left_of_axis(self):
+        chart = render_bar_chart(make_result([-10.0, 20.0]), "Value", width=20)
+        lines = chart.splitlines()
+        zero_b0 = lines[1].index("|")
+        zero_b1 = lines[2].index("|")
+        assert zero_b0 == zero_b1  # shared axis
+        assert "#" in lines[1][:zero_b0]  # negative bar to the left
+        assert "#" in lines[2][zero_b1 + 1:]  # positive to the right
+
+    def test_all_zero_values(self):
+        chart = render_bar_chart(make_result([0.0, 0.0]), "Value")
+        assert "0.00" in chart
+
+    def test_values_rendered_numerically(self):
+        chart = render_bar_chart(make_result([12.34]), "Value")
+        assert "12.34" in chart
+
+    def test_rejects_non_numeric_column(self):
+        result = ExperimentResult("x", "t", columns=["Benchmark", "Name"])
+        result.add_row(Benchmark="a", Name="hello")
+        with pytest.raises(ExperimentError):
+            render_bar_chart(result, "Name")
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ExperimentError):
+            render_bar_chart(make_result([1.0]), "Value", width=3)
+
+    def test_empty_result(self):
+        result = ExperimentResult("x", "t", columns=["Benchmark", "Value"])
+        assert "(no data)" in render_bar_chart(result, "Value")

@@ -1,0 +1,54 @@
+"""Tests for the extension experiments (capacity, headroom, robustness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import capacity, headroom, robustness
+
+
+class TestCapacitySensitivity:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return capacity.run(
+            benchmark="excel",
+            scale_multiplier=24.0,
+            fractions=(0.25, 0.5, 1.0),
+        )
+
+    def test_miss_rate_monotone_in_budget(self, curve):
+        unified = [float(v) for v in curve.column("UnifiedMissPct")]
+        assert unified == sorted(unified, reverse=True)
+
+    def test_full_budget_means_near_zero_unified_misses(self, curve):
+        assert float(curve.column("UnifiedMissPct")[-1]) < 0.2
+
+    def test_reports_peak(self, curve):
+        assert any("peaks" in note for note in curve.notes)
+
+
+class TestHeadroom:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return headroom.run(scale_multiplier=24.0, subset=["word", "gzip"])
+
+    def test_oracle_never_worse_than_fifo(self, table):
+        for row in table.rows:
+            assert float(row["OracleMissPct"]) <= float(row["UnifiedMissPct"])
+
+    def test_gap_closed_bounded(self, table):
+        for row in table.rows:
+            assert -200.0 <= float(row["GapClosedPct"]) <= 150.0
+
+
+class TestRobustness:
+    def test_reports_mean_and_std_per_layout(self):
+        result = robustness.run(
+            seeds=(1, 2),
+            scale_multiplier=24.0,
+            subset=["word", "gzip"],
+        )
+        assert len(result.rows) == 3
+        for row in result.rows:
+            assert float(row["StdPct"]) >= 0.0
+            assert len(str(row["PerSeed"]).split(",")) == 2

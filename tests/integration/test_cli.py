@@ -1,0 +1,73 @@
+"""CLI integration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.tracelog.reader import read_log
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "figure-9"])
+        assert args.experiment == "figure-9"
+        assert args.seed == 42
+        assert not args.quick
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "word" in out
+        assert "gzip" in out
+        assert "Word Processor" in out
+
+    def test_run_table2(self, capsys):
+        assert main(["run", "table-2"]) == 0
+        out = capsys.readouterr().out
+        assert "69834" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "figure-99"]) == 2
+
+    def test_run_characterization_quick_scaled(self, capsys):
+        assert main(["run", "figure-2", "--quick", "--scale", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "FIGURE-2" in out
+        assert "word" in out
+
+    def test_record_writes_readable_log(self, tmp_path, capsys):
+        target = tmp_path / "art.log"
+        assert main(["record", "art", str(target), "--scale", "2"]) == 0
+        log = read_log(target)
+        assert log.benchmark == "art"
+        assert log.n_traces > 0
+
+    def test_record_binary(self, tmp_path, capsys):
+        from repro.tracelog.binary import read_binary_log
+
+        text_target = tmp_path / "art.log"
+        binary_target = tmp_path / "art.bin"
+        assert main(["record", "art", str(text_target), "--scale", "2"]) == 0
+        assert main(
+            ["record", "art", str(binary_target), "--scale", "2", "--binary"]
+        ) == 0
+        assert read_binary_log(binary_target).records == read_log(text_target).records
+        assert binary_target.stat().st_size < text_target.stat().st_size
+
+    def test_run_extension_experiment(self, capsys):
+        assert main(["run", "capacity", "--quick", "--scale", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "CAPACITY-SENSITIVITY" in out
+
+    def test_sweep_small(self, capsys):
+        assert main(["sweep", "art", "--scale", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "SECTION-6.1-SWEEP" in out
+        assert "BestThreshold" in out

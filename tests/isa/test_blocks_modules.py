@@ -1,0 +1,121 @@
+"""Unit tests for basic blocks, modules, and the address space."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RuntimeStateError
+from repro.isa.blocks import BasicBlock
+from repro.isa.instructions import conditional_branch, ret, straightline
+from repro.isa.modules import AddressSpace, Module, ModuleKind
+
+
+def block(block_id=0, module_id=0, address=0, body=3, terminator=None):
+    instructions = [straightline() for _ in range(body)]
+    if terminator is not None:
+        instructions.append(terminator)
+    return BasicBlock(
+        block_id=block_id,
+        module_id=module_id,
+        address=address,
+        instructions=instructions,
+    )
+
+
+class TestBasicBlock:
+    def test_size_is_sum_of_instruction_sizes(self):
+        b = block(body=4)
+        assert b.size == 4 * 3  # four ALU instructions of 3 bytes
+
+    def test_terminator_detection(self):
+        b = block(terminator=conditional_branch(5, backward=True))
+        assert b.terminator is not None
+        assert b.ends_in_backward_branch
+        assert not b.ends_in_indirect
+
+    def test_fallthrough_block(self):
+        b = block()
+        assert b.terminator is None
+        assert not b.ends_in_backward_branch
+
+    def test_indirect_terminator(self):
+        b = block(terminator=ret())
+        assert b.ends_in_indirect
+
+    def test_mid_block_transfer_rejected(self):
+        with pytest.raises(ValueError):
+            BasicBlock(
+                block_id=0,
+                module_id=0,
+                address=0,
+                instructions=[conditional_branch(1, backward=False), straightline()],
+            )
+
+    def test_end_address(self):
+        b = block(address=100, body=2)
+        assert b.end_address == 106
+
+
+class TestAddressSpace:
+    def make_module(self, module_id=0, size=0x2000):
+        return Module(
+            module_id=module_id,
+            name=f"m{module_id}.dll",
+            kind=ModuleKind.PLUGIN_DLL,
+            code_size=size,
+            unloadable=True,
+        )
+
+    def test_map_assigns_address(self):
+        space = AddressSpace()
+        module = self.make_module()
+        base = space.map(module)
+        assert module.loaded
+        assert module.base_address == base
+
+    def test_double_map_rejected(self):
+        space = AddressSpace()
+        module = self.make_module()
+        space.map(module)
+        with pytest.raises(RuntimeStateError):
+            space.map(module)
+
+    def test_unmap_releases(self):
+        space = AddressSpace()
+        module = self.make_module()
+        space.map(module)
+        space.unmap(module)
+        assert not module.loaded
+        with pytest.raises(RuntimeStateError):
+            space.unmap(module)
+
+    def test_released_range_is_reused(self):
+        """Address reuse is why stale code-cache entries are dangerous
+        (Section 3.4): a new module can land where the old one was."""
+        space = AddressSpace()
+        first = self.make_module(0)
+        base = space.map(first)
+        space.unmap(first)
+        second = self.make_module(1, size=0x1000)  # smaller: first fit
+        assert space.map(second) == base
+
+    def test_distinct_live_modules_do_not_overlap(self):
+        space = AddressSpace()
+        modules = [self.make_module(i, size=0x1000 * (i + 1)) for i in range(5)]
+        for module in modules:
+            space.map(module)
+        ranges = sorted(space.range_of(m.module_id) for m in modules)
+        for (base_a, size_a), (base_b, _) in zip(ranges, ranges[1:]):
+            assert base_a + size_a <= base_b
+
+    def test_live_modules_listing(self):
+        space = AddressSpace()
+        a, b = self.make_module(0), self.make_module(1)
+        space.map(a)
+        space.map(b)
+        space.unmap(a)
+        assert space.live_modules == [1]
+
+    def test_alignment_validation(self):
+        with pytest.raises(ValueError):
+            AddressSpace(alignment=0x1001)

@@ -1,0 +1,131 @@
+"""Unit tests for the CFG and program builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.isa.cfg import ControlFlowGraph
+from repro.isa.modules import ModuleKind
+from repro.isa.program import ProgramBuilder, tiny_loop_program
+
+
+class TestCFG:
+    def test_add_edge_registers_blocks(self):
+        cfg = ControlFlowGraph()
+        cfg.add_edge(0, 1, 1.0)
+        assert cfg.blocks == {0, 1}
+
+    def test_successors_and_predecessors(self):
+        cfg = ControlFlowGraph()
+        cfg.add_edge(0, 1, 0.4)
+        cfg.add_edge(0, 2, 0.6)
+        assert {e.dst for e in cfg.successors(0)} == {1, 2}
+        assert [e.src for e in cfg.predecessors(2)] == [0]
+
+    def test_terminal_detection(self):
+        cfg = ControlFlowGraph()
+        cfg.add_edge(0, 1, 1.0)
+        assert cfg.is_terminal(1)
+        assert not cfg.is_terminal(0)
+
+    def test_validate_accepts_unit_sums(self):
+        cfg = ControlFlowGraph()
+        cfg.add_edge(0, 1, 0.3)
+        cfg.add_edge(0, 2, 0.7)
+        cfg.validate()
+
+    def test_validate_rejects_bad_sums(self):
+        cfg = ControlFlowGraph()
+        cfg.add_edge(0, 1, 0.3)
+        cfg.add_edge(0, 2, 0.3)
+        with pytest.raises(WorkloadError):
+            cfg.validate()
+
+    def test_probability_bounds(self):
+        cfg = ControlFlowGraph()
+        with pytest.raises(WorkloadError):
+            cfg.add_edge(0, 1, 1.5)
+
+    def test_sample_successor_deterministic_given_uniform(self):
+        cfg = ControlFlowGraph()
+        cfg.add_edge(0, 1, 0.25)
+        cfg.add_edge(0, 2, 0.75)
+        assert cfg.sample_successor(0, 0.1) == 1
+        assert cfg.sample_successor(0, 0.25) == 2
+        assert cfg.sample_successor(0, 0.999) == 2
+
+    def test_sample_successor_terminal_returns_none(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block(5)
+        assert cfg.sample_successor(5, 0.5) is None
+
+    def test_float_shortfall_falls_back_to_last_edge(self):
+        cfg = ControlFlowGraph()
+        cfg.add_edge(0, 1, 0.5)
+        cfg.add_edge(0, 2, 0.5)
+        assert cfg.sample_successor(0, 0.9999999999999999) == 2
+
+    def test_remove_block_drops_incident_edges(self):
+        cfg = ControlFlowGraph()
+        cfg.add_edge(0, 1, 1.0)
+        cfg.add_edge(1, 2, 1.0)
+        cfg.remove_block(1)
+        assert cfg.successors(0) == []
+        assert cfg.predecessors(2) == []
+        assert 1 not in cfg.blocks
+
+
+class TestProgramBuilder:
+    def test_tiny_loop_program_validates(self):
+        program = tiny_loop_program()
+        assert program.entry_block in program.blocks
+        assert program.code_footprint > 0
+
+    def test_loop_tail_has_backward_branch(self):
+        program = tiny_loop_program()
+        tails = [
+            b for b in program.blocks.values() if b.ends_in_backward_branch
+        ]
+        assert len(tails) == 1
+
+    def test_module_membership(self):
+        builder = ProgramBuilder("p")
+        main = builder.add_module("main.exe", ModuleKind.EXECUTABLE)
+        dll = builder.add_module(
+            "x.dll", ModuleKind.PLUGIN_DLL, unloadable=True, loaded=False
+        )
+        a = builder.add_block(main)
+        b = builder.add_block(dll)
+        program_block_a = builder.finish().blocks[a.block_id]
+        assert program_block_a.module_id == main.module_id
+        assert b.module_id == dll.module_id
+        assert not dll.loaded
+
+    def test_code_size_accumulates(self):
+        builder = ProgramBuilder("p")
+        main = builder.add_module("main.exe", ModuleKind.EXECUTABLE)
+        builder.add_block(main, body_length=5)
+        builder.add_block(main, body_length=5)
+        assert main.code_size == 2 * 5 * 3
+
+    def test_addresses_do_not_overlap_within_module(self):
+        builder = ProgramBuilder("p")
+        main = builder.add_module("main.exe", ModuleKind.EXECUTABLE)
+        blocks = [builder.add_block(main, body_length=4) for _ in range(5)]
+        for first, second in zip(blocks, blocks[1:]):
+            assert first.end_address <= second.address
+
+    def test_loop_iterations_mean_validation(self):
+        builder = ProgramBuilder("p")
+        main = builder.add_module("main.exe", ModuleKind.EXECUTABLE)
+        with pytest.raises(WorkloadError):
+            builder.add_loop(main, body_blocks=2, iterations_mean=0.5)
+
+    def test_entry_must_exist(self):
+        builder = ProgramBuilder("p")
+        main = builder.add_module("main.exe", ModuleKind.EXECUTABLE)
+        builder.add_block(main)
+        builder._program.entry_block = 999
+        with pytest.raises(WorkloadError):
+            builder.finish()

@@ -1,0 +1,76 @@
+"""Unit tests for the synthetic instruction set."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.instructions import (
+    BranchKind,
+    Instruction,
+    Opcode,
+    conditional_branch,
+    direct_jump,
+    encode_size,
+    indirect_jump,
+    ret,
+    straightline,
+)
+
+
+class TestOpcode:
+    def test_control_transfer_classification(self):
+        assert Opcode.BRANCH.is_control_transfer
+        assert Opcode.JUMP.is_control_transfer
+        assert Opcode.CALL.is_control_transfer
+        assert Opcode.RETURN.is_control_transfer
+        assert not Opcode.ALU.is_control_transfer
+        assert not Opcode.LOAD.is_control_transfer
+
+    def test_every_opcode_has_a_size(self):
+        for opcode in Opcode:
+            assert encode_size(opcode) > 0
+
+
+class TestConstruction:
+    def test_straightline(self):
+        insn = straightline()
+        assert insn.branch_kind is BranchKind.NONE
+        assert not insn.is_control_transfer
+
+    def test_conditional_branch(self):
+        insn = conditional_branch(7, backward=True)
+        assert insn.target_block == 7
+        assert insn.backward
+        assert insn.is_control_transfer
+
+    def test_direct_jump(self):
+        insn = direct_jump(3)
+        assert insn.branch_kind is BranchKind.DIRECT
+        assert not insn.backward
+
+    def test_indirect_jump_has_no_target(self):
+        assert indirect_jump().target_block is None
+
+    def test_return_is_indirect(self):
+        assert ret().branch_kind is BranchKind.INDIRECT
+
+
+class TestValidation:
+    def test_control_opcode_requires_branch_kind(self):
+        with pytest.raises(ValueError):
+            Instruction(opcode=Opcode.JUMP)
+
+    def test_plain_opcode_rejects_branch_kind(self):
+        with pytest.raises(ValueError):
+            Instruction(opcode=Opcode.ALU, branch_kind=BranchKind.DIRECT)
+
+    def test_indirect_rejects_static_target(self):
+        with pytest.raises(ValueError):
+            Instruction(
+                opcode=Opcode.JUMP,
+                branch_kind=BranchKind.INDIRECT,
+                target_block=4,
+            )
+
+    def test_size_property(self):
+        assert straightline().size == encode_size(Opcode.ALU)

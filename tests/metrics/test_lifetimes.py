@@ -1,0 +1,115 @@
+"""Unit tests for Equation 2 lifetimes and the Figure 6 histogram."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.lifetimes import (
+    BUCKET_LABELS,
+    LIFETIME_BUCKETS,
+    bucket_of,
+    lifetime_histogram,
+    trace_lifetimes,
+)
+from repro.tracelog.records import EndOfLog, TraceAccess, TraceCreate, TraceLog
+
+
+def build_log(records, end=100) -> TraceLog:
+    log = TraceLog(benchmark="t", duration_seconds=1.0, code_footprint=100)
+    creates_first = {TraceCreate: 0, TraceAccess: 1}
+    for record in sorted(records, key=lambda r: (r.time, creates_first[type(r)])):
+        log.append(record)
+    log.append(EndOfLog(time=end))
+    return log
+
+
+class TestEquation2:
+    def test_never_reaccessed_trace_has_zero_lifetime(self):
+        log = build_log([TraceCreate(time=10, trace_id=0, size=8, module_id=0)])
+        assert trace_lifetimes(log) == {0: 0.0}
+
+    def test_lifetime_spans_creation_to_last_access(self):
+        # Creation counts as the first execution: the trace is built
+        # while the code is executing (Section 4.1).
+        log = build_log([
+            TraceCreate(time=0, trace_id=0, size=8, module_id=0),
+            TraceAccess(time=10, trace_id=0),
+            TraceAccess(time=60, trace_id=0),
+        ])
+        assert trace_lifetimes(log)[0] == pytest.approx(0.6)
+
+    def test_full_lifetime(self):
+        log = build_log([
+            TraceCreate(time=0, trace_id=0, size=8, module_id=0),
+            TraceAccess(time=0, trace_id=0),
+            TraceAccess(time=100, trace_id=0),
+        ])
+        assert trace_lifetimes(log)[0] == pytest.approx(1.0)
+
+    def test_values_always_in_unit_interval(self, small_log):
+        for lifetime in trace_lifetimes(small_log).values():
+            assert 0.0 <= lifetime <= 1.0
+
+    def test_empty_execution_time_rejected(self):
+        log = TraceLog(benchmark="t", duration_seconds=1.0, code_footprint=1)
+        with pytest.raises(ExperimentError):
+            trace_lifetimes(log)
+
+
+class TestBuckets:
+    def test_five_buckets(self):
+        assert len(LIFETIME_BUCKETS) == 5
+        assert len(BUCKET_LABELS) == 5
+
+    def test_bucket_boundaries(self):
+        assert bucket_of(0.0) == 0
+        assert bucket_of(0.2) == 0
+        assert bucket_of(0.21) == 1
+        assert bucket_of(0.80) == 3
+        assert bucket_of(0.81) == 4
+        assert bucket_of(1.0) == 4
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ExperimentError):
+            bucket_of(1.5)
+        with pytest.raises(ExperimentError):
+            bucket_of(-0.1)
+
+
+class TestHistogram:
+    def test_fractions_sum_to_100(self, small_log):
+        histogram = lifetime_histogram(small_log)
+        assert sum(histogram.fractions) == pytest.approx(100.0)
+        assert histogram.n_traces == 6
+
+    def test_u_shape_detection(self):
+        records = [TraceCreate(time=0, trace_id=i, size=8, module_id=0)
+                   for i in range(4)]
+        # Two short-lived (no re-access => 0), two long-lived.
+        records += [
+            TraceAccess(time=1, trace_id=2),
+            TraceAccess(time=99, trace_id=2),
+            TraceAccess(time=1, trace_id=3),
+            TraceAccess(time=95, trace_id=3),
+        ]
+        histogram = lifetime_histogram(build_log(records))
+        assert histogram.short_lived == pytest.approx(50.0)
+        assert histogram.long_lived == pytest.approx(50.0)
+        assert histogram.is_u_shaped
+
+    def test_middle_heavy_is_not_u_shaped(self):
+        records = []
+        for i in range(3):
+            records.append(TraceCreate(time=0, trace_id=i, size=8, module_id=0))
+            records.append(TraceAccess(time=1, trace_id=i))
+        for i in range(3):
+            records.append(TraceAccess(time=50, trace_id=i))
+        histogram = lifetime_histogram(build_log(records))
+        assert not histogram.is_u_shaped
+
+    def test_empty_log_histogram(self):
+        log = build_log([], end=10)
+        histogram = lifetime_histogram(log)
+        assert histogram.n_traces == 0
+        assert sum(histogram.fractions) == 0.0

@@ -1,0 +1,92 @@
+"""Unit tests for expansion, rates, miss-rate metrics and summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cachesim.stats import CacheStats, SimulationResult
+from repro.errors import ExperimentError
+from repro.metrics.expansion import code_expansion
+from repro.metrics.missrates import miss_rate_reduction, misses_eliminated
+from repro.metrics.rates import insertion_rate
+from repro.metrics.summary import arithmetic_mean, geometric_mean, std_deviation
+
+
+def result_with(misses: int, accesses: int = 1000) -> SimulationResult:
+    return SimulationResult(
+        benchmark="x",
+        manager_name="m",
+        stats=CacheStats(accesses=accesses, hits=accesses - misses, misses=misses),
+    )
+
+
+class TestExpansion:
+    def test_equation1(self):
+        # 500% expansion: cache five times the footprint.
+        assert code_expansion(5000, 1000) == pytest.approx(5.0)
+
+    def test_zero_cache(self):
+        assert code_expansion(0, 1000) == 0.0
+
+    def test_invalid_footprint(self):
+        with pytest.raises(ExperimentError):
+            code_expansion(100, 0)
+
+    def test_negative_cache_rejected(self):
+        with pytest.raises(ExperimentError):
+            code_expansion(-1, 100)
+
+
+class TestRates:
+    def test_kb_per_second(self):
+        assert insertion_rate(232 * 1024, 1.0) == pytest.approx(232 * 1024)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ExperimentError):
+            insertion_rate(100, 0.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ExperimentError):
+            insertion_rate(-5, 1.0)
+
+
+class TestMissRateMetrics:
+    def test_reduction(self):
+        baseline = result_with(misses=100)
+        candidate = result_with(misses=82)
+        assert miss_rate_reduction(baseline, candidate) == pytest.approx(0.18)
+
+    def test_negative_reduction_when_candidate_worse(self):
+        assert miss_rate_reduction(result_with(50), result_with(60)) < 0
+
+    def test_zero_baseline(self):
+        assert miss_rate_reduction(result_with(0), result_with(0)) == 0.0
+
+    def test_misses_eliminated(self):
+        assert misses_eliminated(result_with(100), result_with(60)) == 40
+        assert misses_eliminated(result_with(50), result_with(70)) == -20
+
+
+class TestSummary:
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert arithmetic_mean([]) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+
+    def test_geometric_mean_requires_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geomean_of_ratios_matches_paper_style(self):
+        # Like Figure 11: ratios around 0.807 average geometrically.
+        ratios = [0.511, 0.85, 0.9, 1.062, 0.75]
+        value = geometric_mean(ratios)
+        assert 0.5 < value < 1.1
+
+    def test_std_deviation(self):
+        assert std_deviation([2.0, 2.0, 2.0]) == 0.0
+        assert std_deviation([1.0]) == 0.0
+        assert std_deviation([0.0, 2.0]) == pytest.approx(1.0)

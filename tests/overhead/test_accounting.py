@@ -1,0 +1,69 @@
+"""Unit tests for overhead accounting and Equation 3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.effects import Evicted, EvictionReason, Inserted, Promoted
+from repro.overhead.accounting import OverheadAccount, overhead_ratio
+from repro.overhead.model import TABLE2_COSTS
+
+
+class TestAccount:
+    def test_starts_empty(self):
+        account = OverheadAccount()
+        assert account.total == 0.0
+
+    def test_creation_charges_switches_generation_and_copy(self):
+        account = OverheadAccount()
+        account.charge_trace_creation(242)
+        expected = (
+            2 * 25 + TABLE2_COSTS.trace_generation(242) + TABLE2_COSTS.promotion(242)
+        )
+        assert account.total == pytest.approx(expected)
+        assert account.context_switches == 50
+
+    def test_conflict_miss_same_structure_as_creation(self):
+        a, b = OverheadAccount(), OverheadAccount()
+        a.charge_trace_creation(300)
+        b.charge_conflict_miss(300)
+        assert a.total == b.total
+
+    def test_effects_priced_by_kind(self):
+        account = OverheadAccount()
+        account.charge_effects([
+            Inserted(trace_id=0, size=100, cache="nursery"),
+            Evicted(trace_id=1, size=100, cache="nursery",
+                    reason=EvictionReason.CAPACITY),
+            Promoted(trace_id=2, size=100, src="nursery", dst="probation"),
+        ])
+        assert account.evictions == pytest.approx(TABLE2_COSTS.eviction(100))
+        assert account.promotions == pytest.approx(TABLE2_COSTS.promotion(100))
+        assert account.generation == 0.0
+
+    def test_breakdown_sums_to_total(self):
+        account = OverheadAccount()
+        account.charge_trace_creation(242)
+        account.charge_effects([
+            Evicted(trace_id=1, size=80, cache="unified",
+                    reason=EvictionReason.UNMAP),
+        ])
+        breakdown = account.breakdown()
+        assert breakdown["total"] == pytest.approx(
+            breakdown["generation"]
+            + breakdown["context_switches"]
+            + breakdown["evictions"]
+            + breakdown["promotions"]
+        )
+
+
+class TestRatio:
+    def test_equation3(self):
+        assert overhead_ratio(80.7, 100.0) == pytest.approx(0.807)
+
+    def test_below_one_means_reduction(self):
+        assert overhead_ratio(50.0, 100.0) < 1.0
+
+    def test_zero_baseline(self):
+        assert overhead_ratio(0.0, 0.0) == 1.0
+        assert overhead_ratio(5.0, 0.0) == float("inf")

@@ -1,0 +1,63 @@
+"""Unit tests for the Table 2 cost model (paper-value exactness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.overhead.model import MEDIAN_TRACE_SIZE, TABLE2_COSTS, CostModel
+
+
+class TestPaperValues:
+    """Section 6.2 quotes exact spot values for a 242-byte trace; the
+    model must reproduce them (it IS our substitution for the
+    Pentium-4 measurements)."""
+
+    def test_median_trace_size(self):
+        assert MEDIAN_TRACE_SIZE == 242
+
+    def test_trace_generation_at_median(self):
+        assert round(TABLE2_COSTS.trace_generation(242)) == 69_834
+
+    def test_eviction_at_median(self):
+        assert round(TABLE2_COSTS.eviction(242)) == 3_316
+
+    def test_promotion_at_median(self):
+        assert round(TABLE2_COSTS.promotion(242)) == 13_354
+
+    def test_context_switch(self):
+        assert TABLE2_COSTS.context_switch == 25
+
+    def test_conflict_miss_approximately_85k(self):
+        # Paper: "approximately 85,000 instructions" for an average trace.
+        assert TABLE2_COSTS.conflict_miss(242) == pytest.approx(85_000, rel=0.03)
+
+
+class TestFormulaShape:
+    def test_generation_is_sublinear(self):
+        double = TABLE2_COSTS.trace_generation(484)
+        single = TABLE2_COSTS.trace_generation(242)
+        assert double < 2 * single
+
+    def test_eviction_linear_with_base(self):
+        assert TABLE2_COSTS.eviction(0) == 2650
+        assert TABLE2_COSTS.eviction(100) == pytest.approx(2925)
+
+    def test_promotion_linear_with_base(self):
+        assert TABLE2_COSTS.promotion(0) == 8030
+        assert TABLE2_COSTS.promotion(100) == pytest.approx(10230)
+
+    def test_costs_monotone_in_size(self):
+        sizes = [32, 64, 128, 242, 512, 1024]
+        for fn in (
+            TABLE2_COSTS.trace_generation,
+            TABLE2_COSTS.eviction,
+            TABLE2_COSTS.promotion,
+            TABLE2_COSTS.conflict_miss,
+        ):
+            values = [fn(s) for s in sizes]
+            assert values == sorted(values)
+
+    def test_custom_model(self):
+        free_promotion = CostModel(promotion_per_byte=0.0, promotion_base=0.0)
+        assert free_promotion.promotion(242) == 0.0
+        assert free_promotion.eviction(242) == TABLE2_COSTS.eviction(242)

@@ -1,0 +1,50 @@
+"""Unit tests for the pure circular buffer reference policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CacheFullError, TraceTooLargeError
+from repro.policies.circular import CircularCache
+from repro.policies.pseudocircular import PseudoCircularCache
+
+
+class TestCircular:
+    def test_basic_fifo(self):
+        cache = CircularCache(300)
+        for trace_id in range(3):
+            cache.insert(trace_id, 100, 0)
+        result = cache.insert(3, 100, 0)
+        assert [t.trace_id for t in result.evicted] == [0]
+
+    def test_rejects_pinned_eviction(self):
+        cache = CircularCache(200)
+        cache.insert(0, 100, 0)
+        cache.insert(1, 100, 0)
+        cache.pin(0)
+        with pytest.raises(CacheFullError):
+            cache.insert(2, 100, 0)
+
+    def test_trace_too_large(self):
+        cache = CircularCache(100)
+        with pytest.raises(TraceTooLargeError):
+            cache.insert(0, 200, 0)
+
+    def test_matches_pseudocircular_when_nothing_pinned(self):
+        """The pseudo-circular policy must behave exactly like the pure
+        circular buffer whenever no trace is pinned (its design
+        contract: 'from a distance, this policy behaves as a circular
+        buffer')."""
+        pure = CircularCache(700)
+        pseudo = PseudoCircularCache(700)
+        sizes = [90, 130, 60, 210, 100, 80, 150, 70, 120, 200, 90, 60]
+        for trace_id, size in enumerate(sizes):
+            evicted_pure = [
+                t.trace_id for t in pure.insert(trace_id, size, 0).evicted
+            ]
+            evicted_pseudo = [
+                t.trace_id for t in pseudo.insert(trace_id, size, 0).evicted
+            ]
+            assert evicted_pure == evicted_pseudo
+            assert pure.pointer == pseudo.pointer
+            assert pure.arena.trace_ids() == pseudo.arena.trace_ids()

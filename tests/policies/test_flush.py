@@ -1,0 +1,77 @@
+"""Unit tests for the preemptive-flush (Dynamo-style) policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CacheFullError, TraceTooLargeError
+from repro.policies.flush import PreemptiveFlushCache
+
+
+class TestPreemptiveFlush:
+    def test_appends_until_full(self):
+        cache = PreemptiveFlushCache(300)
+        for trace_id in range(3):
+            result = cache.insert(trace_id, 100, 0)
+            assert result.evicted == []
+            assert not result.flushed
+        assert cache.n_flushes == 0
+
+    def test_flushes_everything_when_full(self):
+        cache = PreemptiveFlushCache(300)
+        for trace_id in range(3):
+            cache.insert(trace_id, 100, 0)
+        result = cache.insert(3, 100, 0)
+        assert result.flushed
+        assert sorted(t.trace_id for t in result.evicted) == [0, 1, 2]
+        assert cache.n_flushes == 1
+        assert cache.arena.trace_ids() == [3]
+
+    def test_pinned_traces_survive_flush(self):
+        cache = PreemptiveFlushCache(300)
+        for trace_id in range(3):
+            cache.insert(trace_id, 100, 0)
+        cache.pin(1)
+        result = cache.insert(3, 100, 0)
+        assert 1 in cache
+        assert sorted(t.trace_id for t in result.evicted) == [0, 2]
+
+    def test_insert_placed_around_pinned_survivor(self):
+        cache = PreemptiveFlushCache(300)
+        for trace_id in range(3):
+            cache.insert(trace_id, 100, 0)
+        cache.pin(0)  # occupies [0, 100)
+        cache.insert(3, 100, 0)
+        placement = cache.arena.placement_of(3)
+        pinned = cache.arena.placement_of(0)
+        assert placement.start >= pinned.end or placement.end <= pinned.start
+
+    def test_pinned_blocking_everything_raises(self):
+        cache = PreemptiveFlushCache(200)
+        cache.insert(0, 100, 0)
+        cache.insert(1, 100, 0)
+        cache.pin(0)
+        cache.pin(1)
+        with pytest.raises(CacheFullError):
+            cache.insert(2, 150, 0)
+
+    def test_trace_too_large(self):
+        cache = PreemptiveFlushCache(100)
+        with pytest.raises(TraceTooLargeError):
+            cache.insert(0, 101, 0)
+
+    def test_uses_hole_from_forced_removal(self):
+        cache = PreemptiveFlushCache(300)
+        for trace_id in range(3):
+            cache.insert(trace_id, 100, 0)
+        cache.remove(1)
+        result = cache.insert(3, 100, 0)
+        assert not result.flushed
+        assert cache.arena.placement_of(3).start == 100
+
+    def test_flush_counter_accumulates(self):
+        cache = PreemptiveFlushCache(200)
+        for trace_id in range(9):
+            cache.insert(trace_id, 100, 0)
+        # Two inserts fit, then every other insert flushes.
+        assert cache.n_flushes == 4

@@ -1,0 +1,127 @@
+"""Unit tests for the LFU and oracle local policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CacheFullError, TraceTooLargeError
+from repro.policies.lfu import LFUCache
+from repro.policies.oracle import NEVER, OracleCache, access_schedule
+from repro.tracelog.records import EndOfLog, TraceAccess, TraceCreate, TraceLog
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        cache = LFUCache(300)
+        for trace_id in range(3):
+            cache.insert(trace_id, 100, 0)
+        cache.touch(0, time=10, count=5)
+        cache.touch(2, time=11, count=2)
+        result = cache.insert(3, 100, 0)
+        assert [t.trace_id for t in result.evicted] == [1]
+
+    def test_frequency_ties_break_by_age(self):
+        cache = LFUCache(300)
+        for trace_id in range(3):
+            cache.insert(trace_id, 100, 0, time=trace_id)
+        result = cache.insert(3, 100, 0, time=10)
+        assert [t.trace_id for t in result.evicted] == [0]
+
+    def test_skips_pinned(self):
+        cache = LFUCache(200)
+        cache.insert(0, 100, 0)
+        cache.insert(1, 100, 0)
+        cache.pin(0)
+        result = cache.insert(2, 100, 0)
+        assert [t.trace_id for t in result.evicted] == [1]
+
+    def test_all_pinned_raises(self):
+        cache = LFUCache(100)
+        cache.insert(0, 100, 0)
+        cache.pin(0)
+        with pytest.raises(CacheFullError):
+            cache.insert(1, 50, 0)
+
+    def test_too_large(self):
+        with pytest.raises(TraceTooLargeError):
+            LFUCache(100).insert(0, 200, 0)
+
+    def test_invariants_under_churn(self):
+        cache = LFUCache(1000)
+        for trace_id in range(50):
+            cache.insert(trace_id, 60 + (trace_id * 31) % 100, 0, time=trace_id)
+            if trace_id % 4 == 0:
+                cache.touch(cache.arena.trace_ids()[0], time=trace_id, count=3)
+            cache.check_invariants()
+
+
+class TestOracleSchedule:
+    def make_log(self):
+        log = TraceLog(benchmark="x", duration_seconds=1.0, code_footprint=100)
+        log.append(TraceCreate(time=1, trace_id=0, size=10, module_id=0))
+        log.append(TraceCreate(time=2, trace_id=1, size=10, module_id=0))
+        log.append(TraceAccess(time=5, trace_id=0))
+        log.append(TraceAccess(time=7, trace_id=1))
+        log.append(TraceAccess(time=9, trace_id=0))
+        log.append(EndOfLog(time=20))
+        return log
+
+    def test_access_schedule_extraction(self):
+        schedule = access_schedule(self.make_log())
+        assert schedule == {0: [5, 9], 1: [7]}
+
+    def test_next_use_respects_now(self):
+        cache = OracleCache(100)
+        cache.load_schedule({0: [5, 9]})
+        assert cache.next_use(0) == 5.0
+        cache.observe_time(5)
+        assert cache.next_use(0) == 9.0
+        cache.observe_time(9)
+        assert cache.next_use(0) == NEVER
+
+    def test_unknown_trace_is_never_used(self):
+        cache = OracleCache(100)
+        assert cache.next_use(99) == NEVER
+
+
+class TestOracleEviction:
+    def test_evicts_farthest_next_use(self):
+        cache = OracleCache(300)
+        cache.load_schedule({0: [100], 1: [50], 2: [10]})
+        for trace_id in range(3):
+            cache.insert(trace_id, 100, 0, time=trace_id)
+        result = cache.insert(3, 100, 0, time=5)
+        assert [t.trace_id for t in result.evicted] == [0]
+
+    def test_never_used_evicted_first(self):
+        cache = OracleCache(300)
+        cache.load_schedule({0: [100], 2: [10]})  # trace 1 never used
+        for trace_id in range(3):
+            cache.insert(trace_id, 100, 0, time=trace_id)
+        result = cache.insert(3, 100, 0, time=5)
+        assert [t.trace_id for t in result.evicted] == [1]
+
+    def test_oracle_beats_fifo_on_adversarial_log(self):
+        """A log built to defeat FIFO: the hot trace is re-accessed
+        just after FIFO's pointer would have cycled past it."""
+        from repro.cachesim.simulator import simulate_log
+        from repro.core.unified import UnifiedCacheManager
+        from repro.experiments.headroom import oracle_manager
+
+        log = TraceLog(benchmark="adv", duration_seconds=1.0, code_footprint=1000)
+        time = 0
+        log.append(TraceCreate(time=time, trace_id=0, size=100, module_id=0))
+        next_id = 1
+        for _ in range(30):
+            time += 1
+            log.append(TraceCreate(time=time, trace_id=next_id, size=100, module_id=0))
+            next_id += 1
+            time += 1
+            log.append(TraceAccess(time=time, trace_id=0))
+        log.append(EndOfLog(time=time + 1))
+
+        capacity = 250  # two traces + change
+        fifo = simulate_log(log, UnifiedCacheManager(capacity))
+        oracle = simulate_log(log, oracle_manager(log, capacity))
+        assert oracle.stats.misses < fifo.stats.misses
+        assert oracle.stats.misses == 0  # it always keeps trace 0

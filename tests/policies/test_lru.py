@@ -1,0 +1,92 @@
+"""Unit tests for the LRU local policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CacheFullError, TraceTooLargeError
+from repro.policies.lru import LRUCache
+
+
+class TestLRUEviction:
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(300)
+        for trace_id in range(3):
+            cache.insert(trace_id, 100, 0)
+        cache.touch(0, time=100)  # 0 becomes MRU; 1 is now LRU
+        result = cache.insert(3, 100, 0)
+        assert [t.trace_id for t in result.evicted] == [1]
+        assert 0 in cache
+
+    def test_untouched_eviction_is_insertion_order(self):
+        cache = LRUCache(300)
+        for trace_id in range(3):
+            cache.insert(trace_id, 100, 0)
+        result = cache.insert(3, 100, 0)
+        assert [t.trace_id for t in result.evicted] == [0]
+
+    def test_evicts_multiple_until_contiguous_fit(self):
+        cache = LRUCache(300)
+        for trace_id in range(3):
+            cache.insert(trace_id, 100, 0)
+        result = cache.insert(3, 250, 0)
+        # Needs a 250-byte contiguous hole: evicting 0 and 1 frees
+        # [0, 200); still not enough; evicting 2 frees [0, 300).
+        assert [t.trace_id for t in result.evicted] == [0, 1, 2]
+
+    def test_skips_pinned(self):
+        cache = LRUCache(300)
+        for trace_id in range(3):
+            cache.insert(trace_id, 100, 0)
+        cache.pin(0)
+        result = cache.insert(3, 100, 0)
+        assert [t.trace_id for t in result.evicted] == [1]
+        assert 0 in cache
+
+    def test_all_pinned_raises(self):
+        cache = LRUCache(200)
+        cache.insert(0, 100, 0)
+        cache.insert(1, 100, 0)
+        cache.pin(0)
+        cache.pin(1)
+        with pytest.raises(CacheFullError):
+            cache.insert(2, 100, 0)
+
+    def test_trace_too_large(self):
+        cache = LRUCache(100)
+        with pytest.raises(TraceTooLargeError):
+            cache.insert(0, 150, 0)
+
+    def test_uses_existing_hole_without_eviction(self):
+        cache = LRUCache(300)
+        for trace_id in range(3):
+            cache.insert(trace_id, 100, 0)
+        cache.remove(1)
+        result = cache.insert(3, 80, 0)
+        assert result.evicted == []
+        assert cache.arena.placement_of(3).start == 100
+
+    def test_merges_adjacent_freed_ranges(self):
+        cache = LRUCache(300)
+        cache.insert(0, 100, 0)
+        cache.insert(1, 100, 0)
+        cache.insert(2, 100, 0)
+        # 0 and 1 are adjacent LRU victims; merged they fit 200 bytes.
+        result = cache.insert(3, 200, 0)
+        assert [t.trace_id for t in result.evicted] == [0, 1]
+
+    def test_remove_clears_recency_state(self):
+        cache = LRUCache(300)
+        cache.insert(0, 100, 0)
+        cache.remove(0)
+        cache.insert(0, 100, 0)  # re-insert must not raise
+        assert 0 in cache
+
+    def test_invariants_under_churn(self):
+        cache = LRUCache(1000)
+        for trace_id in range(60):
+            cache.insert(trace_id, 50 + (trace_id * 37) % 120, 0, time=trace_id)
+            if trace_id % 3 == 0:
+                resident = cache.arena.trace_ids()
+                cache.touch(resident[0], time=trace_id)
+            cache.check_invariants()

@@ -1,0 +1,179 @@
+"""Unit tests for the pseudo-circular local policy (Section 4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CacheFullError, DuplicateTraceError, TraceTooLargeError
+from repro.policies.pseudocircular import PseudoCircularCache
+
+
+def fill_sequential(cache: PseudoCircularCache, n: int, size: int = 100):
+    """Insert traces 0..n-1 of equal size."""
+    for trace_id in range(n):
+        cache.insert(trace_id, size, module_id=0, time=trace_id)
+
+
+class TestBasicRotation:
+    def test_fills_empty_cache_without_eviction(self):
+        cache = PseudoCircularCache(1000)
+        for trace_id in range(10):
+            result = cache.insert(trace_id, 100, 0)
+            assert result.evicted == []
+        assert cache.used_bytes == 1000
+
+    def test_pointer_advances_with_insertions(self):
+        cache = PseudoCircularCache(1000)
+        cache.insert(1, 100, 0)
+        assert cache.pointer == 100
+        cache.insert(2, 300, 0)
+        assert cache.pointer == 400
+
+    def test_wraps_and_evicts_oldest_first(self):
+        cache = PseudoCircularCache(1000)
+        fill_sequential(cache, 10)  # full
+        result = cache.insert(10, 100, 0)
+        assert [t.trace_id for t in result.evicted] == [0]
+        assert 0 not in cache
+        assert 10 in cache
+
+    def test_fifo_order_over_many_insertions(self):
+        cache = PseudoCircularCache(500)
+        evicted_order = []
+        for trace_id in range(20):
+            result = cache.insert(trace_id, 100, 0)
+            evicted_order.extend(t.trace_id for t in result.evicted)
+        # Strict FIFO: evictions happen in insertion order.
+        assert evicted_order == list(range(15))
+
+    def test_pointer_wraps_to_zero_at_capacity(self):
+        cache = PseudoCircularCache(300)
+        fill_sequential(cache, 3)
+        assert cache.pointer == 0
+
+    def test_large_insert_evicts_multiple(self):
+        cache = PseudoCircularCache(1000)
+        fill_sequential(cache, 10)
+        result = cache.insert(100, 250, 0)
+        assert [t.trace_id for t in result.evicted] == [0, 1, 2]
+
+    def test_hits_do_not_affect_eviction_order(self):
+        cache = PseudoCircularCache(300)
+        fill_sequential(cache, 3)
+        cache.touch(0, time=100, count=50)  # FIFO ignores recency
+        result = cache.insert(3, 100, 0)
+        assert [t.trace_id for t in result.evicted] == [0]
+
+
+class TestPinnedTraces:
+    def test_pinned_trace_never_evicted(self):
+        cache = PseudoCircularCache(300)
+        fill_sequential(cache, 3)
+        cache.pin(0)
+        for trace_id in range(3, 9):
+            cache.insert(trace_id, 100, 0)
+            assert 0 in cache
+
+    def test_pointer_resets_after_pinned_run(self):
+        cache = PseudoCircularCache(300)
+        fill_sequential(cache, 3)
+        cache.pin(0)
+        result = cache.insert(3, 100, 0)
+        # Trace 0 occupies [0,100); the insert wraps, skips it and
+        # evicts trace 1 at [100,200).
+        assert [t.trace_id for t in result.evicted] == [1]
+        assert cache.arena.placement_of(3).start == 100
+
+    def test_unpinned_trace_becomes_evictable(self):
+        cache = PseudoCircularCache(300)
+        fill_sequential(cache, 3)
+        cache.pin(0)
+        cache.insert(3, 100, 0)  # evicts 1
+        cache.unpin(0)
+        evicted = []
+        for trace_id in range(4, 7):
+            evicted.extend(
+                t.trace_id for t in cache.insert(trace_id, 100, 0).evicted
+            )
+        assert 0 in evicted
+
+    def test_all_pinned_raises_cache_full(self):
+        cache = PseudoCircularCache(300)
+        fill_sequential(cache, 3)
+        for trace_id in range(3):
+            cache.pin(trace_id)
+        with pytest.raises(CacheFullError):
+            cache.insert(99, 100, 0)
+
+    def test_insert_fits_between_pinned_traces(self):
+        cache = PseudoCircularCache(300)
+        fill_sequential(cache, 3)
+        cache.pin(0)
+        cache.pin(2)
+        result = cache.insert(3, 100, 0)
+        assert [t.trace_id for t in result.evicted] == [1]
+        assert cache.arena.placement_of(3).start == 100
+
+
+class TestForcedEvictionsAndHoles:
+    def test_remove_leaves_hole_that_rotation_ignores(self):
+        cache = PseudoCircularCache(400)
+        fill_sequential(cache, 4)
+        cache.remove(1)  # hole at [100,200)
+        # Pointer is at 0 (wrapped); next insert goes at 0, not the hole.
+        result = cache.insert(4, 100, 0)
+        assert cache.arena.placement_of(4).start == 0
+        assert [t.trace_id for t in result.evicted] == [0]
+
+    def test_fill_holes_mode_uses_hole_first(self):
+        cache = PseudoCircularCache(400, fill_holes=True)
+        fill_sequential(cache, 4)
+        cache.remove(1)
+        result = cache.insert(4, 100, 0)
+        assert cache.arena.placement_of(4).start == 100
+        assert result.evicted == []
+
+    def test_remove_module_removes_only_that_module(self):
+        cache = PseudoCircularCache(400)
+        cache.insert(0, 100, module_id=0)
+        cache.insert(1, 100, module_id=7)
+        cache.insert(2, 100, module_id=7)
+        victims = cache.remove_module(7)
+        assert sorted(t.trace_id for t in victims) == [1, 2]
+        assert 0 in cache
+
+
+class TestErrors:
+    def test_trace_too_large(self):
+        cache = PseudoCircularCache(100)
+        with pytest.raises(TraceTooLargeError):
+            cache.insert(1, 101, 0)
+
+    def test_duplicate_insert(self):
+        cache = PseudoCircularCache(300)
+        cache.insert(1, 100, 0)
+        with pytest.raises(DuplicateTraceError):
+            cache.insert(1, 100, 0)
+
+    def test_exact_capacity_trace_fits(self):
+        cache = PseudoCircularCache(100)
+        cache.insert(1, 100, 0)
+        assert cache.used_bytes == 100
+
+
+class TestInvariantsUnderChurn:
+    def test_mixed_workload_stays_consistent(self):
+        cache = PseudoCircularCache(1000)
+        for trace_id in range(50):
+            cache.insert(trace_id, 60 + (trace_id * 13) % 90, 0, time=trace_id)
+            if trace_id % 7 == 0 and trace_id in cache:
+                cache.pin(trace_id)
+            if trace_id % 11 == 3:
+                resident = cache.arena.trace_ids()
+                victim = resident[len(resident) // 2]
+                if not cache.get(victim).pinned:
+                    cache.remove(victim)
+            if trace_id % 13 == 5 and (trace_id - 5) in cache:
+                cache.unpin(trace_id - 5)
+            cache.check_invariants()
+        assert cache.used_bytes <= cache.capacity

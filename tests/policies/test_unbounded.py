@@ -1,0 +1,39 @@
+"""Unit tests for the unbounded cache."""
+
+from __future__ import annotations
+
+from repro.policies.unbounded import UnboundedCache
+
+
+class TestUnbounded:
+    def test_never_evicts(self):
+        cache = UnboundedCache()
+        for trace_id in range(100):
+            result = cache.insert(trace_id, 1000, 0)
+            assert result.evicted == []
+        assert cache.n_traces == 100
+
+    def test_high_water_mark_tracks_total_created_bytes(self):
+        cache = UnboundedCache()
+        for trace_id in range(10):
+            cache.insert(trace_id, 100, 0)
+        assert cache.high_water_mark == 1000
+
+    def test_forced_removal_does_not_lower_high_water(self):
+        """maxCache is the peak: deleting unmapped traces leaves holes
+        but the footprint already grew (Figure 1's definition)."""
+        cache = UnboundedCache()
+        for trace_id in range(10):
+            cache.insert(trace_id, 100, module_id=trace_id % 2)
+        cache.remove_module(1)
+        assert cache.high_water_mark == 1000
+        cache.insert(100, 100, 0)
+        assert cache.high_water_mark == 1100
+
+    def test_holes_are_not_reused(self):
+        cache = UnboundedCache()
+        cache.insert(0, 100, module_id=5)
+        cache.insert(1, 100, module_id=0)
+        cache.remove_module(5)
+        cache.insert(2, 50, module_id=0)
+        assert cache.arena.placement_of(2).start == 200

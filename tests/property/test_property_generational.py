@@ -1,0 +1,122 @@
+"""Property-based tests for the generational manager and simulator."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cachesim.simulator import simulate_log
+from repro.core.config import GenerationalConfig, PromotionMode
+from repro.core.generational import GenerationalCacheManager
+from repro.core.unified import UnifiedCacheManager
+from repro.tracelog.records import (
+    EndOfLog,
+    ModuleUnmap,
+    TraceAccess,
+    TraceCreate,
+    TraceLog,
+)
+
+
+@st.composite
+def random_logs(draw):
+    """A structurally valid random trace log."""
+    n_traces = draw(st.integers(min_value=1, max_value=40))
+    sizes = [draw(st.integers(min_value=16, max_value=400)) for _ in range(n_traces)]
+    modules = [draw(st.integers(min_value=0, max_value=3)) for _ in range(n_traces)]
+    log = TraceLog(benchmark="prop", duration_seconds=1.0, code_footprint=1000)
+    time = 0
+    created: list[int] = []
+    events = draw(st.lists(st.integers(0, 99), min_size=n_traces, max_size=150))
+    next_create = 0
+    for token in events:
+        time += 1 + token % 5
+        if next_create < n_traces and (token % 3 == 0 or not created):
+            log.append(
+                TraceCreate(
+                    time=time,
+                    trace_id=next_create,
+                    size=sizes[next_create],
+                    module_id=modules[next_create],
+                )
+            )
+            created.append(next_create)
+            next_create += 1
+        elif token % 11 == 1 and created:
+            log.append(ModuleUnmap(time=time, module_id=token % 4))
+        else:
+            trace_id = created[token % len(created)]
+            log.append(
+                TraceAccess(time=time, trace_id=trace_id, repeat=1 + token % 4)
+            )
+    log.append(EndOfLog(time=time + 1))
+    log.validate()
+    return log
+
+
+@st.composite
+def generational_configs(draw):
+    nursery = draw(st.floats(min_value=0.1, max_value=0.7))
+    probation = draw(st.floats(min_value=0.05, max_value=0.5))
+    remaining = 1.0 - nursery - probation
+    if remaining < 0.05:
+        nursery, probation = 0.4, 0.2
+        remaining = 0.4
+    threshold = draw(st.integers(min_value=1, max_value=20))
+    mode = draw(st.sampled_from(list(PromotionMode)))
+    return GenerationalConfig(
+        nursery_fraction=nursery,
+        probation_fraction=probation,
+        persistent_fraction=remaining,
+        promotion_threshold=threshold,
+        promotion_mode=mode,
+    )
+
+
+@given(log=random_logs(), config=generational_configs(),
+       capacity=st.integers(min_value=600, max_value=4000))
+@settings(max_examples=60, deadline=None)
+def test_generational_replay_invariants(log, config, capacity):
+    """Any random log against any generational layout: counters are
+    consistent, no trace is ever resident twice, and caches respect
+    their budgets."""
+    manager = GenerationalCacheManager(capacity, config)
+    result = simulate_log(log, manager)
+    result.stats.check_invariants()
+    manager.check_invariants()
+    assert sum(c.capacity for c in manager.caches()) == capacity
+    assert result.stats.creations == log.n_traces
+    assert result.stats.accesses == log.n_accesses
+
+
+@given(log=random_logs(), capacity=st.integers(min_value=600, max_value=4000))
+@settings(max_examples=60, deadline=None)
+def test_unified_and_generational_see_identical_work(log, capacity):
+    """Both managers replay the same log: identical access and creation
+    counts (only hits/misses may differ)."""
+    unified = simulate_log(log, UnifiedCacheManager(capacity))
+    generational = simulate_log(
+        log, GenerationalCacheManager(capacity, GenerationalConfig())
+    )
+    assert unified.stats.accesses == generational.stats.accesses
+    assert unified.stats.creations == generational.stats.creations
+
+
+@given(log=random_logs())
+@settings(max_examples=30, deadline=None)
+def test_unbounded_cache_never_misses(log):
+    """With an unbounded cache, only unmapped traces can ever miss."""
+    manager = UnifiedCacheManager(1 << 40, local_policy="unbounded")
+    result = simulate_log(log, manager)
+    # Misses can only happen for re-accesses after an unmap.
+    if result.stats.unmap_evictions == 0:
+        assert result.stats.misses == 0
+
+
+@given(log=random_logs(), config=generational_configs(),
+       capacity=st.integers(min_value=600, max_value=4000))
+@settings(max_examples=40, deadline=None)
+def test_replay_is_deterministic(log, config, capacity):
+    a = simulate_log(log, GenerationalCacheManager(capacity, config))
+    b = simulate_log(log, GenerationalCacheManager(capacity, config))
+    assert a.stats == b.stats

@@ -1,0 +1,102 @@
+"""Property-based tests over all local policies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CacheFullError, TraceTooLargeError
+from repro.policies.circular import CircularCache
+from repro.policies.flush import PreemptiveFlushCache
+from repro.policies.lfu import LFUCache
+from repro.policies.lru import LRUCache
+from repro.policies.oracle import OracleCache
+from repro.policies.pseudocircular import PseudoCircularCache
+
+BOUNDED_POLICIES = [
+    PseudoCircularCache,
+    CircularCache,
+    LRUCache,
+    LFUCache,
+    PreemptiveFlushCache,
+    OracleCache,  # with no schedule loaded, everything is "never used"
+]
+
+
+@st.composite
+def insertion_streams(draw):
+    capacity = draw(st.integers(min_value=256, max_value=2048))
+    n = draw(st.integers(min_value=1, max_value=60))
+    sizes = [
+        draw(st.integers(min_value=16, max_value=capacity)) for _ in range(n)
+    ]
+    return capacity, sizes
+
+
+@pytest.mark.parametrize("policy", BOUNDED_POLICIES)
+@given(stream=insertion_streams())
+@settings(max_examples=40, deadline=None)
+def test_capacity_never_exceeded(policy, stream):
+    """No insertion sequence can push any bounded policy over its
+    capacity, and evicted traces really leave."""
+    capacity, sizes = stream
+    cache = policy(capacity)
+    resident = set()
+    for trace_id, size in enumerate(sizes):
+        try:
+            result = cache.insert(trace_id, size, 0, time=trace_id)
+        except TraceTooLargeError:
+            continue
+        resident.add(trace_id)
+        for victim in result.evicted:
+            resident.discard(victim.trace_id)
+            assert victim.trace_id not in cache
+        assert cache.used_bytes <= capacity
+        cache.check_invariants()
+        assert set(cache.arena.trace_ids()) == resident
+
+
+@pytest.mark.parametrize("policy", BOUNDED_POLICIES)
+@given(stream=insertion_streams(), pin_every=st.integers(2, 7))
+@settings(max_examples=30, deadline=None)
+def test_pinned_traces_never_evicted_by_policy(policy, stream, pin_every):
+    capacity, sizes = stream
+    cache = policy(capacity)
+    pinned = set()
+    for trace_id, size in enumerate(sizes):
+        try:
+            result = cache.insert(trace_id, size, 0, time=trace_id)
+        except TraceTooLargeError:
+            continue
+        except CacheFullError:
+            break
+        for victim in result.evicted:
+            assert victim.trace_id not in pinned
+        if trace_id % pin_every == 0:
+            cache.pin(trace_id)
+            pinned.add(trace_id)
+    for trace_id in pinned:
+        assert trace_id in cache
+
+
+@given(stream=insertion_streams())
+@settings(max_examples=30, deadline=None)
+def test_pseudocircular_matches_pure_circular_without_pins(stream):
+    """Design contract (Section 4.3): with no undeletable traces and no
+    forced evictions, the pseudo-circular policy IS a circular buffer."""
+    capacity, sizes = stream
+    pseudo = PseudoCircularCache(capacity)
+    pure = CircularCache(capacity)
+    for trace_id, size in enumerate(sizes):
+        try:
+            expected = pure.insert(trace_id, size, 0)
+        except TraceTooLargeError:
+            with pytest.raises(TraceTooLargeError):
+                pseudo.insert(trace_id, size, 0)
+            continue
+        actual = pseudo.insert(trace_id, size, 0)
+        assert [t.trace_id for t in actual.evicted] == [
+            t.trace_id for t in expected.evicted
+        ]
+        assert pseudo.arena.trace_ids() == pure.arena.trace_ids()

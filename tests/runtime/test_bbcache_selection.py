@@ -1,0 +1,105 @@
+"""Unit tests for the basic-block cache and trace-head table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.blocks import BasicBlock
+from repro.isa.instructions import straightline
+from repro.runtime.bbcache import BasicBlockCache
+from repro.runtime.selection import (
+    DEFAULT_TRACE_THRESHOLD,
+    TraceHeadTable,
+    TraceSelectionConfig,
+)
+
+
+def block(block_id=0, module_id=0):
+    return BasicBlock(
+        block_id=block_id,
+        module_id=module_id,
+        address=block_id * 16,
+        instructions=[straightline() for _ in range(4)],
+    )
+
+
+class TestBasicBlockCache:
+    def test_copy_in_and_execute(self):
+        cache = BasicBlockCache()
+        cache.copy_in(block(0))
+        assert 0 in cache
+        assert cache.execute(0) == 1
+        assert cache.execute(0) == 2
+        assert cache.executions(0) == 2
+
+    def test_size_accounting(self):
+        cache = BasicBlockCache()
+        cache.copy_in(block(0))
+        cache.copy_in(block(1))
+        assert cache.n_blocks == 2
+        assert cache.size_bytes == 2 * 12
+
+    def test_purge_module(self):
+        cache = BasicBlockCache()
+        cache.copy_in(block(0, module_id=0))
+        cache.copy_in(block(1, module_id=5))
+        cache.copy_in(block(2, module_id=5))
+        purged = cache.purge_module(5)
+        assert sorted(purged) == [1, 2]
+        assert cache.n_blocks == 1
+
+    def test_total_copies_counts_recopies(self):
+        cache = BasicBlockCache()
+        cache.copy_in(block(0, module_id=5))
+        cache.purge_module(5)
+        cache.copy_in(block(0, module_id=5))
+        assert cache.total_copies == 2
+        assert cache.executions(0) == 0  # counter reset with recopy
+
+
+class TestTraceHeadTable:
+    def test_default_threshold_is_dynamorio_50(self):
+        assert DEFAULT_TRACE_THRESHOLD == 50
+        assert TraceSelectionConfig().threshold == 50
+
+    def test_unmarked_blocks_never_trigger(self):
+        table = TraceHeadTable(TraceSelectionConfig(threshold=2))
+        assert not table.record_execution(7)
+        assert table.count(7) == 0
+
+    def test_threshold_trigger(self):
+        table = TraceHeadTable(TraceSelectionConfig(threshold=3))
+        table.mark(1)
+        assert not table.record_execution(1)
+        assert not table.record_execution(1)
+        assert table.record_execution(1)
+
+    def test_mark_is_idempotent_and_preserves_counts(self):
+        table = TraceHeadTable(TraceSelectionConfig(threshold=5))
+        table.mark(1)
+        table.record_execution(1)
+        table.mark(1)
+        assert table.count(1) == 1
+
+    def test_reset_restarts_counting(self):
+        table = TraceHeadTable(TraceSelectionConfig(threshold=2))
+        table.mark(1)
+        table.record_execution(1)
+        table.record_execution(1)
+        table.reset(1)
+        assert not table.record_execution(1)
+
+    def test_purge_forgets_heads(self):
+        table = TraceHeadTable()
+        table.mark(1)
+        table.mark(2)
+        table.purge([1])
+        assert 1 not in table
+        assert 2 in table
+        assert table.n_heads == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TraceSelectionConfig(threshold=0)
+        with pytest.raises(ValueError):
+            TraceSelectionConfig(max_trace_blocks=0)

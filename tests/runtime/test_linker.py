@@ -1,0 +1,139 @@
+"""Unit tests for the trace linker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DuplicateTraceError, UnknownTraceError
+from repro.runtime.linker import TraceLinker, exit_targets_of
+from repro.runtime.traces import Trace
+
+
+def trace(trace_id: int, head: int, blocks=None, module_id: int = 0) -> Trace:
+    block_ids = tuple(blocks) if blocks else (head,)
+    return Trace(
+        trace_id=trace_id,
+        head_block=head,
+        block_ids=block_ids,
+        module_id=module_id,
+        size=100,
+        created_at=0,
+    )
+
+
+class TestExitTargets:
+    def test_off_trace_targets_only(self):
+        t = trace(0, head=1, blocks=(1, 2, 3))
+        targets = exit_targets_of(
+            t, {1: 2, 2: 9, 3: 1}  # 1->2 internal, 2->9 exit, 3->1 internal
+        )
+        assert targets == (9,)
+
+    def test_fallthrough_blocks_contribute_nothing(self):
+        t = trace(0, head=1, blocks=(1, 2))
+        assert exit_targets_of(t, {1: None, 2: None}) == ()
+
+
+class TestLinking:
+    def test_outgoing_link_to_resident_head(self):
+        linker = TraceLinker()
+        linker.register(trace(0, head=10), exit_targets=())
+        patched = linker.register(trace(1, head=20), exit_targets=(10,))
+        assert patched == 1
+        assert linker.is_linked(1, 0)
+        assert not linker.is_linked(0, 1)
+        assert linker.n_links == 1
+
+    def test_incoming_link_resolved_on_registration(self):
+        linker = TraceLinker()
+        # Trace 0 exits toward block 20 before any trace heads there.
+        linker.register(trace(0, head=10), exit_targets=(20,))
+        assert linker.n_links == 0
+        patched = linker.register(trace(1, head=20), exit_targets=())
+        assert patched == 1
+        assert linker.is_linked(0, 1)
+
+    def test_mutual_links(self):
+        linker = TraceLinker()
+        linker.register(trace(0, head=10), exit_targets=(20,))
+        linker.register(trace(1, head=20), exit_targets=(10,))
+        assert linker.is_linked(0, 1)
+        assert linker.is_linked(1, 0)
+        linker.check_invariants()
+
+    def test_duplicate_registration_rejected(self):
+        linker = TraceLinker()
+        linker.register(trace(0, head=10), exit_targets=())
+        with pytest.raises(DuplicateTraceError):
+            linker.register(trace(0, head=11), exit_targets=())
+
+
+class TestUnlinking:
+    def test_removal_unpatches_both_directions(self):
+        linker = TraceLinker()
+        linker.register(trace(0, head=10), exit_targets=(20,))
+        linker.register(trace(1, head=20), exit_targets=(10,))
+        unlinked = linker.remove(1)
+        assert unlinked == 2
+        assert linker.n_links == 0
+        assert not linker.is_linked(0, 1)
+        linker.check_invariants()
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(UnknownTraceError):
+            TraceLinker().remove(5)
+
+    def test_remove_module_unlinks_everything_of_module(self):
+        linker = TraceLinker()
+        linker.register(trace(0, head=10, module_id=0), exit_targets=(20, 30))
+        linker.register(trace(1, head=20, module_id=7), exit_targets=())
+        linker.register(trace(2, head=30, module_id=7), exit_targets=())
+        assert linker.n_links == 2
+        linker.remove_module(7)
+        assert linker.n_traces == 1
+        assert linker.n_links == 0
+        linker.check_invariants()
+
+    def test_stats_accumulate(self):
+        linker = TraceLinker()
+        linker.register(trace(0, head=10), exit_targets=(20,))
+        linker.register(trace(1, head=20), exit_targets=())
+        linker.remove(1)
+        assert linker.stats.links_patched == 1
+        assert linker.stats.links_unpatched == 1
+
+
+class TestTransitions:
+    def test_linked_transition_counts(self):
+        linker = TraceLinker()
+        linker.register(trace(0, head=10), exit_targets=(20,))
+        linker.register(trace(1, head=20), exit_targets=())
+        assert linker.record_transition(0, 1)
+        assert not linker.record_transition(1, 0)  # no link that way
+        assert not linker.record_transition(None, 0)  # from dispatcher
+        assert linker.stats.linked_transitions == 1
+        assert linker.stats.unlinked_transitions == 2
+        assert linker.stats.switches_avoided == 2
+
+
+class TestRuntimeIntegration:
+    def test_loop_trace_transitions_recorded(self):
+        from repro.isa.program import tiny_loop_program
+        from repro.runtime.system import record_session
+        from repro.sim.phases import Segment, SessionScript
+
+        program = tiny_loop_program(iterations_mean=10_000.0)
+        script = SessionScript().add(
+            Segment(entry_block=program.entry_block, n_blocks=2000)
+        )
+        from repro.runtime.system import DynOptRuntime
+        from repro.sim.engine import ExecutionEngine
+
+        runtime = DynOptRuntime(program)
+        runtime.run(ExecutionEngine(program, script, seed=1))
+        stats = runtime.linker.stats
+        # The loop trace links back to itself?  No self-links; its
+        # re-entries come straight from its own exit, but a self-link
+        # is excluded, so transitions are unlinked here.
+        assert stats.linked_transitions + stats.unlinked_transitions > 0
+        runtime.linker.check_invariants()

@@ -1,0 +1,158 @@
+"""Unit/integration tests for the DynOptRuntime front end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.modules import ModuleKind
+from repro.isa.program import ProgramBuilder, tiny_loop_program
+from repro.runtime.selection import TraceSelectionConfig
+from repro.runtime.system import DynOptRuntime, record_session
+from repro.sim.phases import LoadModule, Segment, SessionScript, UnloadModule
+from repro.tracelog.records import (
+    EndOfLog,
+    ModuleUnmap,
+    TraceAccess,
+    TraceCreate,
+)
+
+
+def loop_session(iterations_mean=10_000.0, n_blocks=2_000, threshold=50):
+    program = tiny_loop_program(iterations_mean=iterations_mean)
+    script = SessionScript(duration_seconds=1.0)
+    script.add(Segment(entry_block=program.entry_block, n_blocks=n_blocks))
+    selection = TraceSelectionConfig(threshold=threshold)
+    return record_session(program, script, seed=11, selection=selection)
+
+
+class TestTraceCreation:
+    def test_hot_loop_becomes_a_trace(self):
+        log = loop_session()
+        creates = log.creates()
+        assert len(creates) == 1
+        assert creates[0].size > 0
+
+    def test_threshold_delays_creation(self):
+        """The trace must appear only after the head has run
+        `threshold` times in the bb cache."""
+        low = loop_session(threshold=5)
+        high = loop_session(threshold=200)
+        assert low.creates()[0].time < high.creates()[0].time
+
+    def test_accesses_follow_creation(self):
+        log = loop_session()
+        create_time = log.creates()[0].time
+        accesses = [r for r in log.records if isinstance(r, TraceAccess)]
+        assert accesses, "the loop must re-enter its trace"
+        assert all(a.time >= create_time for a in accesses)
+
+    def test_log_validates_and_terminates(self):
+        log = loop_session()
+        log.validate()
+        assert isinstance(log.records[-1], EndOfLog)
+
+    def test_access_compression_produces_repeats(self):
+        log = loop_session(n_blocks=5_000)
+        accesses = [r for r in log.records if isinstance(r, TraceAccess)]
+        # A tight loop re-enters its trace consecutively: compressed.
+        assert max(a.repeat for a in accesses) > 10
+
+    def test_deterministic_recording(self):
+        assert loop_session().records == loop_session().records
+
+
+class TestUnmapRecording:
+    def build_dll_session(self):
+        builder = ProgramBuilder("dlltest")
+        main = builder.add_module("main.exe", ModuleKind.EXECUTABLE)
+        dll = builder.add_module(
+            "x.dll", ModuleKind.PLUGIN_DLL, unloadable=True, loaded=False
+        )
+        entry = builder.add_block(main)
+        main_head, main_exit = builder.add_loop(
+            main, body_blocks=2, iterations_mean=5000.0
+        )
+        builder.connect(entry, main_head, 1.0)
+        dll_entry = builder.add_block(dll)
+        dll_head, dll_exit = builder.add_loop(
+            dll, body_blocks=2, iterations_mean=5000.0
+        )
+        builder.connect(dll_entry, dll_head, 1.0)
+        builder.set_entry(entry)
+        program = builder.finish()
+
+        script = SessionScript(duration_seconds=1.0)
+        script.add(Segment(entry_block=entry.block_id, n_blocks=500))
+        script.add(LoadModule(module_id=dll.module_id))
+        script.add(Segment(entry_block=dll_entry.block_id, n_blocks=500))
+        script.add(UnloadModule(module_id=dll.module_id))
+        script.add(Segment(entry_block=entry.block_id, n_blocks=500))
+        return record_session(program, script, seed=5), dll.module_id
+
+    def test_unmap_record_emitted(self):
+        log, dll_id = self.build_dll_session()
+        unmaps = [r for r in log.records if isinstance(r, ModuleUnmap)]
+        assert [u.module_id for u in unmaps] == [dll_id]
+
+    def test_dll_traces_created_before_unmap(self):
+        log, dll_id = self.build_dll_session()
+        unmap_time = next(
+            r.time for r in log.records if isinstance(r, ModuleUnmap)
+        )
+        dll_creates = [c for c in log.creates() if c.module_id == dll_id]
+        assert dll_creates
+        assert all(c.time <= unmap_time for c in dll_creates)
+
+    def test_no_dll_accesses_after_unmap(self):
+        log, dll_id = self.build_dll_session()
+        unmap_time = next(
+            r.time for r in log.records if isinstance(r, ModuleUnmap)
+        )
+        dll_trace_ids = {c.trace_id for c in log.creates() if c.module_id == dll_id}
+        late = [
+            r for r in log.records
+            if isinstance(r, TraceAccess)
+            and r.trace_id in dll_trace_ids
+            and r.time > unmap_time
+        ]
+        assert late == []
+
+    def test_log_validates(self):
+        log, _ = self.build_dll_session()
+        log.validate()
+
+
+class TestRuntimeInternals:
+    def test_bb_cache_populated_before_trace(self):
+        program = tiny_loop_program()
+        runtime = DynOptRuntime(program, TraceSelectionConfig(threshold=10**9))
+        from repro.sim.engine import ExecutionEngine
+        from repro.sim.phases import Segment as Seg, SessionScript as Script
+
+        script = Script()
+        script.add(Seg(entry_block=program.entry_block, n_blocks=300))
+        runtime.run(ExecutionEngine(program, script, seed=1))
+        assert runtime.bbcache.n_blocks > 0
+        assert runtime.traces == {}  # threshold unreachable
+
+    def test_trace_head_marked_for_loop_target(self):
+        program = tiny_loop_program()
+        runtime = DynOptRuntime(program, TraceSelectionConfig(threshold=10**9))
+        from repro.sim.engine import ExecutionEngine
+        from repro.sim.phases import Segment as Seg, SessionScript as Script
+
+        script = Script()
+        script.add(Seg(entry_block=program.entry_block, n_blocks=300))
+        runtime.run(ExecutionEngine(program, script, seed=1))
+        backward_targets = {
+            b.terminator.target_block
+            for b in program.blocks.values()
+            if b.ends_in_backward_branch and b.terminator is not None
+        }
+        for target in backward_targets:
+            assert target in runtime.heads
+
+    def test_footprint_matches_program(self):
+        program = tiny_loop_program()
+        runtime = DynOptRuntime(program)
+        assert runtime.log.code_footprint == program.code_footprint

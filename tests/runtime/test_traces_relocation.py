@@ -1,0 +1,129 @@
+"""Unit tests for trace building and code relocation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RuntimeStateError
+from repro.isa.blocks import BasicBlock
+from repro.isa.instructions import (
+    conditional_branch,
+    direct_jump,
+    ret,
+    straightline,
+)
+from repro.runtime.relocation import layout_blocks, relocate_trace
+from repro.runtime.traces import EXIT_STUB_BYTES, Trace, TraceBuilder
+
+
+def block(block_id, module_id=0, terminator=None, body=3):
+    instructions = [straightline() for _ in range(body)]
+    if terminator is not None:
+        instructions.append(terminator)
+    return BasicBlock(
+        block_id=block_id,
+        module_id=module_id,
+        address=block_id * 32,
+        instructions=instructions,
+    )
+
+
+class TestTraceBuilder:
+    def test_head_is_first_block(self):
+        head = block(0)
+        builder = TraceBuilder(trace_id=1, head=head, started_at=0)
+        trace = builder.finish(created_at=10)
+        assert trace.head_block == 0
+        assert trace.block_ids == (0,)
+        assert trace.created_at == 10
+
+    def test_size_includes_exit_stubs(self):
+        head = block(0, terminator=conditional_branch(9, backward=False))
+        tail = block(1)
+        builder = TraceBuilder(trace_id=1, head=head, started_at=0)
+        builder.extend(tail)
+        trace = builder.finish(created_at=0)
+        block_bytes = head.size + tail.size
+        # One stub for the head's conditional exit + one final exit.
+        assert trace.size == block_bytes + 2 * EXIT_STUB_BYTES
+
+    def test_max_blocks_enforced(self):
+        builder = TraceBuilder(trace_id=1, head=block(0), started_at=0, max_blocks=2)
+        builder.extend(block(1))
+        assert builder.full
+        with pytest.raises(RuntimeStateError):
+            builder.extend(block(2))
+
+    def test_module_boundary_rejected(self):
+        builder = TraceBuilder(trace_id=1, head=block(0, module_id=0), started_at=0)
+        with pytest.raises(RuntimeStateError):
+            builder.extend(block(1, module_id=9))
+
+    def test_contains_block(self):
+        builder = TraceBuilder(trace_id=1, head=block(0), started_at=0)
+        builder.extend(block(4))
+        assert builder.contains_block(4)
+        assert not builder.contains_block(5)
+
+    def test_trace_validation(self):
+        with pytest.raises(RuntimeStateError):
+            Trace(
+                trace_id=0, head_block=1, block_ids=(),
+                module_id=0, size=10, created_at=0,
+            )
+        with pytest.raises(RuntimeStateError):
+            Trace(
+                trace_id=0, head_block=1, block_ids=(2, 1),
+                module_id=0, size=10, created_at=0,
+            )
+
+
+class TestRelocation:
+    def test_layout_is_contiguous(self):
+        blocks = [block(0), block(1, body=5), block(2)]
+        addresses = layout_blocks(blocks, base=1000)
+        assert addresses[0] == 1000
+        assert addresses[1] == 1000 + blocks[0].size
+        assert addresses[2] == addresses[1] + blocks[1].size
+
+    def test_intra_trace_branch_fixup(self):
+        # Block 1 branches back to block 0 inside the same trace.
+        blocks = [
+            block(0),
+            block(1, terminator=conditional_branch(0, backward=True)),
+        ]
+        relocated = relocate_trace(7, blocks, old_base=0, new_base=5000)
+        intra = [f for f in relocated.fixups if f.kind == "intra"]
+        assert len(intra) == 1
+        assert intra[0].old_target == 0
+        assert intra[0].new_target == 5000
+
+    def test_off_trace_branch_becomes_stub_fixup(self):
+        blocks = [
+            block(0, terminator=direct_jump(99)),  # target outside trace
+            block(1),
+        ]
+        relocated = relocate_trace(7, blocks, old_base=100, new_base=600)
+        stubs = [f for f in relocated.fixups if f.kind == "stub"]
+        assert len(stubs) == 1
+        assert stubs[0].new_target - stubs[0].old_target == 500
+
+    def test_indirect_terminators_need_no_fixup(self):
+        blocks = [block(0, terminator=ret())]
+        relocated = relocate_trace(7, blocks, old_base=0, new_base=100)
+        assert relocated.fixups == ()
+
+    def test_relocation_preserves_block_order_and_sizes(self):
+        blocks = [block(0), block(1, body=7), block(2, body=1)]
+        relocated = relocate_trace(3, blocks, old_base=0, new_base=4096)
+        assert relocated.block_addresses[0] == 4096
+        deltas = [
+            relocated.block_addresses[i + 1] - relocated.block_addresses[i]
+            for i in range(len(blocks) - 1)
+        ]
+        assert deltas == [blocks[0].size, blocks[1].size]
+
+    def test_zero_delta_relocation_is_identity_on_stubs(self):
+        blocks = [block(0, terminator=direct_jump(50))]
+        relocated = relocate_trace(1, blocks, old_base=128, new_base=128)
+        assert all(f.old_target == f.new_target for f in relocated.fixups)

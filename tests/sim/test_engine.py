@@ -1,0 +1,126 @@
+"""Unit tests for the execution engine and session scripts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RuntimeStateError, WorkloadError
+from repro.isa.modules import ModuleKind
+from repro.isa.program import ProgramBuilder, tiny_loop_program
+from repro.sim.engine import ExecutionEngine, collect_events
+from repro.sim.events import (
+    BlockExecuted,
+    ModuleLoaded,
+    ModuleUnloaded,
+    ProgramEnd,
+)
+from repro.sim.phases import LoadModule, Segment, SessionScript, UnloadModule
+
+
+def run_engine(program, script, seed=0):
+    return collect_events(ExecutionEngine(program, script, seed=seed))
+
+
+class TestSegments:
+    def test_executes_requested_block_count(self):
+        program = tiny_loop_program(iterations_mean=10_000.0)
+        script = SessionScript().add(Segment(entry_block=program.entry_block, n_blocks=50))
+        events = run_engine(program, script)
+        blocks = [e for e in events if isinstance(e, BlockExecuted)]
+        assert len(blocks) == 50
+
+    def test_ends_with_program_end_carrying_final_time(self):
+        program = tiny_loop_program()
+        script = SessionScript().add(Segment(entry_block=program.entry_block, n_blocks=20))
+        events = run_engine(program, script)
+        assert isinstance(events[-1], ProgramEnd)
+        assert events[-1].time == events[-2].time
+
+    def test_time_is_monotone(self):
+        program = tiny_loop_program()
+        script = SessionScript().add(Segment(entry_block=program.entry_block, n_blocks=100))
+        events = run_engine(program, script)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_terminal_block_ends_segment_early(self):
+        builder = ProgramBuilder("p")
+        main = builder.add_module("main.exe", ModuleKind.EXECUTABLE)
+        a = builder.add_block(main)
+        b = builder.add_block(main)  # terminal (no successors)
+        builder.connect(a, b, 1.0)
+        builder.set_entry(a)
+        program = builder.finish()
+        script = SessionScript().add(Segment(entry_block=a.block_id, n_blocks=100))
+        events = run_engine(program, script)
+        blocks = [e for e in events if isinstance(e, BlockExecuted)]
+        assert [e.block_id for e in blocks] == [a.block_id, b.block_id]
+
+    def test_deterministic_given_seed(self):
+        program = tiny_loop_program(iterations_mean=5.0)
+        script = SessionScript().add(Segment(entry_block=program.entry_block, n_blocks=200))
+        first = run_engine(tiny_loop_program(iterations_mean=5.0), script, seed=3)
+        second = run_engine(tiny_loop_program(iterations_mean=5.0), script, seed=3)
+        assert first == second
+
+    def test_different_seeds_diverge(self):
+        script_blocks = 300
+        program_a = tiny_loop_program(iterations_mean=5.0)
+        program_b = tiny_loop_program(iterations_mean=5.0)
+        script = SessionScript().add(
+            Segment(entry_block=program_a.entry_block, n_blocks=script_blocks)
+        )
+        a = run_engine(program_a, script, seed=1)
+        b = run_engine(program_b, script, seed=2)
+        assert a != b
+
+
+class TestModuleSteps:
+    def build_dll_program(self):
+        builder = ProgramBuilder("p")
+        main = builder.add_module("main.exe", ModuleKind.EXECUTABLE)
+        dll = builder.add_module(
+            "x.dll", ModuleKind.PLUGIN_DLL, unloadable=True, loaded=False
+        )
+        entry = builder.add_block(main)
+        handler = builder.add_block(dll)
+        builder.set_entry(entry)
+        return builder.finish(), entry, handler, dll
+
+    def test_load_and_unload_events(self):
+        program, entry, handler, dll = self.build_dll_program()
+        script = SessionScript()
+        script.add(Segment(entry_block=entry.block_id, n_blocks=1))
+        script.add(LoadModule(module_id=dll.module_id))
+        script.add(Segment(entry_block=handler.block_id, n_blocks=1))
+        script.add(UnloadModule(module_id=dll.module_id))
+        events = run_engine(program, script)
+        kinds = [type(e).__name__ for e in events]
+        assert kinds == [
+            "BlockExecuted", "ModuleLoaded", "BlockExecuted",
+            "ModuleUnloaded", "ProgramEnd",
+        ]
+
+    def test_executing_unloaded_module_raises(self):
+        program, entry, handler, dll = self.build_dll_program()
+        script = SessionScript().add(Segment(entry_block=handler.block_id, n_blocks=1))
+        with pytest.raises(RuntimeStateError):
+            run_engine(program, script)
+
+
+class TestScriptValidation:
+    def test_segment_needs_positive_blocks(self):
+        with pytest.raises(WorkloadError):
+            Segment(entry_block=0, n_blocks=0)
+
+    def test_total_blocks(self):
+        script = SessionScript()
+        script.add(Segment(entry_block=0, n_blocks=10))
+        script.add(LoadModule(module_id=1))
+        script.add(Segment(entry_block=0, n_blocks=5))
+        assert script.total_blocks == 15
+
+    def test_engine_rejects_bad_instruction_rate(self):
+        program = tiny_loop_program()
+        with pytest.raises(ValueError):
+            ExecutionEngine(program, SessionScript(), instructions_per_block=0)

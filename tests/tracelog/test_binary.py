@@ -1,0 +1,67 @@
+"""Tests for the binary trace-log format."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import LogFormatError
+from repro.tracelog.binary import (
+    dumps_binary,
+    loads_binary,
+    read_binary_log,
+    write_binary_log,
+)
+from repro.tracelog.writer import dumps_log
+
+from tests.property.test_property_log_roundtrip import arbitrary_logs
+
+
+class TestRoundTrip:
+    def test_small_log(self, small_log):
+        parsed = loads_binary(dumps_binary(small_log))
+        assert parsed.records == small_log.records
+        assert parsed.benchmark == small_log.benchmark
+        assert parsed.duration_seconds == small_log.duration_seconds
+        assert parsed.code_footprint == small_log.code_footprint
+
+    def test_file_round_trip(self, small_log, tmp_path):
+        path = tmp_path / "log.bin"
+        write_binary_log(small_log, path)
+        parsed = read_binary_log(path)
+        assert parsed.records == small_log.records
+
+    def test_smaller_than_text_for_real_logs(self):
+        from repro.workloads import get_profile, synthesize_log
+
+        log = synthesize_log(get_profile("gzip"), seed=3, scale=2.0)
+        assert len(dumps_binary(log)) < len(dumps_log(log).encode("utf-8"))
+
+    @given(arbitrary_logs())
+    @settings(max_examples=60, deadline=None)
+    def test_property_round_trip(self, log):
+        parsed = loads_binary(dumps_binary(log))
+        assert parsed.records == log.records
+        assert parsed.benchmark == log.benchmark
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(LogFormatError):
+            loads_binary(b"NOPE" + b"\x00" * 30)
+
+    def test_truncated(self, small_log):
+        data = dumps_binary(small_log)
+        with pytest.raises(LogFormatError):
+            loads_binary(data[:-3])
+
+    def test_empty(self):
+        with pytest.raises(LogFormatError):
+            loads_binary(b"")
+
+    def test_synthesized_workload_round_trips(self):
+        from repro.workloads import get_profile, synthesize_log
+
+        log = synthesize_log(get_profile("art"), seed=5, scale=2.0)
+        parsed = loads_binary(dumps_binary(log))
+        assert parsed.records == log.records

@@ -1,0 +1,114 @@
+"""Unit tests for trace-log records and the TraceLog container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LogOrderError
+from repro.tracelog.records import (
+    EndOfLog,
+    ModuleUnmap,
+    TraceAccess,
+    TraceCreate,
+    TraceLog,
+    TracePin,
+    TraceUnpin,
+)
+
+
+def empty_log() -> TraceLog:
+    return TraceLog(benchmark="t", duration_seconds=1.0, code_footprint=100)
+
+
+class TestAppendOrdering:
+    def test_appends_in_time_order(self):
+        log = empty_log()
+        log.append(TraceCreate(time=1, trace_id=0, size=10, module_id=0))
+        log.append(TraceAccess(time=2, trace_id=0))
+        assert len(log.records) == 2
+
+    def test_equal_times_allowed(self):
+        log = empty_log()
+        log.append(TraceCreate(time=5, trace_id=0, size=10, module_id=0))
+        log.append(TraceAccess(time=5, trace_id=0))
+
+    def test_rejects_time_going_backwards(self):
+        log = empty_log()
+        log.append(TraceCreate(time=10, trace_id=0, size=10, module_id=0))
+        with pytest.raises(LogOrderError):
+            log.append(TraceAccess(time=9, trace_id=0))
+
+
+class TestDerivedProperties:
+    def test_end_time_from_end_record(self, small_log):
+        assert small_log.end_time == 200
+
+    def test_end_time_falls_back_to_last_record(self):
+        log = empty_log()
+        log.append(TraceCreate(time=7, trace_id=0, size=10, module_id=0))
+        assert log.end_time == 7
+
+    def test_empty_log_end_time_zero(self):
+        assert empty_log().end_time == 0
+
+    def test_counts(self, small_log):
+        assert small_log.n_traces == 6
+        assert small_log.total_trace_bytes == 100 + 150 + 120 + 200 + 90 + 110
+        assert small_log.n_accesses == 3 + 1 + 1 + 2 + 1
+
+    def test_creates_in_order(self, small_log):
+        assert [c.trace_id for c in small_log.creates()] == [0, 1, 2, 3, 4, 5]
+
+
+class TestValidation:
+    def test_small_log_validates(self, small_log):
+        small_log.validate()
+
+    def test_access_before_create_rejected(self):
+        log = empty_log()
+        log.records = [
+            TraceAccess(time=1, trace_id=9),
+        ]
+        with pytest.raises(LogOrderError):
+            log.validate()
+
+    def test_pin_of_unknown_trace_rejected(self):
+        log = empty_log()
+        log.records = [TracePin(time=1, trace_id=3)]
+        with pytest.raises(LogOrderError):
+            log.validate()
+
+    def test_unpin_of_unknown_trace_rejected(self):
+        log = empty_log()
+        log.records = [TraceUnpin(time=1, trace_id=3)]
+        with pytest.raises(LogOrderError):
+            log.validate()
+
+    def test_nonpositive_size_rejected(self):
+        log = empty_log()
+        log.records = [TraceCreate(time=1, trace_id=0, size=0, module_id=0)]
+        with pytest.raises(LogOrderError):
+            log.validate()
+
+    def test_nonpositive_repeat_rejected(self):
+        log = empty_log()
+        log.records = [
+            TraceCreate(time=1, trace_id=0, size=10, module_id=0),
+            TraceAccess(time=2, trace_id=0, repeat=0),
+        ]
+        with pytest.raises(LogOrderError):
+            log.validate()
+
+    def test_unordered_records_rejected(self):
+        log = empty_log()
+        log.records = [
+            TraceCreate(time=10, trace_id=0, size=10, module_id=0),
+            TraceCreate(time=5, trace_id=1, size=10, module_id=0),
+        ]
+        with pytest.raises(LogOrderError):
+            log.validate()
+
+    def test_unmap_needs_no_known_traces(self):
+        log = empty_log()
+        log.records = [ModuleUnmap(time=1, module_id=5), EndOfLog(time=2)]
+        log.validate()

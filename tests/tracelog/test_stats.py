@@ -1,0 +1,74 @@
+"""Unit tests for log summary statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tracelog.records import (
+    EndOfLog,
+    ModuleUnmap,
+    TraceAccess,
+    TraceCreate,
+    TraceLog,
+)
+from repro.tracelog.stats import summarize_log
+
+
+class TestSummarize:
+    def test_small_log_counts(self, small_log):
+        stats = summarize_log(small_log)
+        assert stats.n_traces == 6
+        assert stats.total_trace_bytes == 770
+        assert stats.n_accesses == 8
+        assert stats.n_unmaps == 1
+        assert stats.end_time == 200
+
+    def test_unmapped_bytes_counts_traces_created_before_unmap(self, small_log):
+        stats = summarize_log(small_log)
+        # Only trace 2 (120 B, module 1) existed when module 1 unmapped.
+        assert stats.unmapped_trace_bytes == 120
+        assert stats.unmapped_n_traces == 1
+        assert stats.unmapped_fraction == pytest.approx(120 / 770)
+
+    def test_median_trace_size(self, small_log):
+        stats = summarize_log(small_log)
+        # Sizes: 90, 100, 110, 120, 150, 200 -> median (110+120)/2.
+        assert stats.median_trace_size == pytest.approx(115.0)
+
+    def test_insertion_rate(self, small_log):
+        stats = summarize_log(small_log)
+        assert stats.insertion_rate_bytes_per_second == pytest.approx(770.0)
+
+    def test_empty_log(self):
+        log = TraceLog(benchmark="e", duration_seconds=2.0, code_footprint=10)
+        stats = summarize_log(log)
+        assert stats.n_traces == 0
+        assert stats.unmapped_fraction == 0.0
+        assert stats.median_trace_size == 0.0
+
+    def test_trace_created_after_unmap_not_counted(self):
+        log = TraceLog(benchmark="x", duration_seconds=1.0, code_footprint=10)
+        log.append(TraceCreate(time=1, trace_id=0, size=100, module_id=5))
+        log.append(ModuleUnmap(time=2, module_id=5))
+        log.append(TraceCreate(time=3, trace_id=1, size=100, module_id=5))
+        log.append(EndOfLog(time=4))
+        stats = summarize_log(log)
+        assert stats.unmapped_trace_bytes == 100
+
+    def test_double_unmap_counts_each_generation(self):
+        log = TraceLog(benchmark="x", duration_seconds=1.0, code_footprint=10)
+        log.append(TraceCreate(time=1, trace_id=0, size=100, module_id=5))
+        log.append(ModuleUnmap(time=2, module_id=5))
+        log.append(TraceCreate(time=3, trace_id=1, size=50, module_id=5))
+        log.append(ModuleUnmap(time=4, module_id=5))
+        log.append(EndOfLog(time=5))
+        stats = summarize_log(log)
+        assert stats.unmapped_trace_bytes == 150
+        assert stats.n_unmaps == 2
+
+    def test_repeats_expand_in_access_count(self):
+        log = TraceLog(benchmark="x", duration_seconds=1.0, code_footprint=10)
+        log.append(TraceCreate(time=1, trace_id=0, size=100, module_id=0))
+        log.append(TraceAccess(time=2, trace_id=0, repeat=17))
+        stats = summarize_log(log)
+        assert stats.n_accesses == 17

@@ -1,0 +1,59 @@
+"""Tests for the full-pipeline program generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.tracelog.records import ModuleUnmap
+from repro.tracelog.stats import summarize_log
+from repro.workloads.catalog import get_profile
+from repro.workloads.generator import build_program, build_session
+
+
+@pytest.fixture(scope="module")
+def gzip_session():
+    return build_session(get_profile("gzip"), seed=3)
+
+
+class TestBuildProgram:
+    def test_program_validates(self):
+        program, script = build_program(get_profile("gzip"), seed=1)
+        program.validate()
+        assert script.total_blocks > 0
+
+    def test_interactive_program_has_unloadable_dlls(self):
+        program, script = build_program(get_profile("winzip"), seed=1)
+        dlls = [m for m in program.modules.values() if m.unloadable]
+        assert dlls
+        unloads = [s for s in script.steps if type(s).__name__ == "UnloadModule"]
+        assert unloads
+
+    def test_spec_program_has_single_module(self):
+        program, _ = build_program(get_profile("gzip"), seed=1)
+        assert len(program.modules) == 1
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(WorkloadError):
+            build_program(get_profile("gzip"), loops_per_phase=0)
+
+
+class TestRecordedSession:
+    def test_session_produces_traces_and_accesses(self, gzip_session):
+        stats = summarize_log(gzip_session)
+        assert stats.n_traces > 5
+        assert stats.n_accesses > stats.n_traces
+
+    def test_log_validates(self, gzip_session):
+        gzip_session.validate()
+
+    def test_interactive_session_records_unmaps(self):
+        log = build_session(get_profile("winzip"), seed=3)
+        unmaps = [r for r in log.records if isinstance(r, ModuleUnmap)]
+        assert unmaps
+        assert summarize_log(log).unmapped_trace_bytes > 0
+
+    def test_deterministic(self):
+        a = build_session(get_profile("gzip"), seed=9)
+        b = build_session(get_profile("gzip"), seed=9)
+        assert a.records == b.records

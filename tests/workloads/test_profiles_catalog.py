@@ -1,0 +1,161 @@
+"""Unit tests for workload profiles and the calibrated catalogs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.metrics.summary import arithmetic_mean
+from repro.units import KB, MB
+from repro.workloads.catalog import all_profiles, get_profile, profiles_for_suite
+from repro.workloads.interactive import INTERACTIVE_PROFILES, interactive_profile
+from repro.workloads.profiles import LifetimeMix, WorkloadProfile
+from repro.workloads.spec2000 import SPEC2000_PROFILES, spec2000_profile
+
+
+class TestLifetimeMix:
+    def test_must_sum_to_one(self):
+        with pytest.raises(WorkloadError):
+            LifetimeMix(short=0.5, medium=0.5, long=0.5)
+
+    def test_bounds(self):
+        with pytest.raises(WorkloadError):
+            LifetimeMix(short=1.2, medium=-0.2, long=0.0)
+
+
+class TestProfileValidation:
+    def base(self, **overrides):
+        fields = dict(
+            name="x", suite="spec", description="d",
+            total_trace_kb=100.0, duration_seconds=10.0,
+        )
+        fields.update(overrides)
+        return WorkloadProfile(**fields)
+
+    def test_valid_profile(self):
+        profile = self.base()
+        assert profile.total_trace_bytes == 100 * KB
+        assert profile.insertion_rate_kb_per_s == pytest.approx(10.0)
+
+    def test_unknown_suite(self):
+        with pytest.raises(WorkloadError):
+            self.base(suite="desktop")
+
+    def test_footprint_from_expansion(self):
+        profile = self.base(code_expansion=5.0)
+        assert profile.code_footprint_bytes == pytest.approx(20 * KB, abs=2)
+
+    def test_scaled_bytes(self):
+        profile = self.base(default_scale=4.0)
+        assert profile.scaled_trace_bytes() == 25 * KB
+        assert profile.scaled_trace_bytes(2.0) == 50 * KB
+        with pytest.raises(WorkloadError):
+            profile.scaled_trace_bytes(0)
+
+    def test_unmap_fraction_bounds(self):
+        with pytest.raises(WorkloadError):
+            self.base(unmap_fraction=1.0)
+
+
+class TestSpecCatalogCalibration:
+    """The catalog must match the paper's Figure 1a/3a aggregates."""
+
+    def test_has_26_benchmarks(self):
+        assert len(SPEC2000_PROFILES) == 26
+
+    def test_average_cache_size_near_736kb(self):
+        sizes = [p.total_trace_kb for p in SPEC2000_PROFILES]
+        assert arithmetic_mean(sizes) == pytest.approx(736, rel=0.05)
+
+    def test_gcc_is_4_3mb(self):
+        assert spec2000_profile("gcc").total_trace_kb == pytest.approx(4300)
+
+    def test_vortex_is_1_6mb(self):
+        assert spec2000_profile("vortex").total_trace_kb == pytest.approx(1600)
+
+    def test_insertion_rates_mostly_below_5(self):
+        above = [
+            p.name for p in SPEC2000_PROFILES if p.insertion_rate_kb_per_s > 5.0
+        ]
+        assert sorted(above) == ["gcc", "perlbmk"]
+
+    def test_gcc_rate_232(self):
+        assert spec2000_profile("gcc").insertion_rate_kb_per_s == pytest.approx(232)
+
+    def test_perlbmk_rate_89(self):
+        assert spec2000_profile("perlbmk").insertion_rate_kb_per_s == pytest.approx(89)
+
+    def test_spec_never_unmaps(self):
+        assert all(p.unmap_fraction == 0.0 for p in SPEC2000_PROFILES)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            spec2000_profile("doom")
+
+
+class TestInteractiveCatalogCalibration:
+    """Table 1 + Figures 1b/3b/4 aggregates."""
+
+    def test_has_12_applications(self):
+        assert len(INTERACTIVE_PROFILES) == 12
+
+    def test_table1_durations(self):
+        expected = {
+            "access": 202, "acroread": 376, "defrag": 46, "excel": 208,
+            "iexplore": 247, "mpeg": 257, "outlook": 196, "pinball": 372,
+            "powerpoint": 173, "solitaire": 335, "winzip": 92, "word": 212,
+        }
+        for name, seconds in expected.items():
+            assert interactive_profile(name).duration_seconds == seconds
+
+    def test_average_cache_near_16_1mb(self):
+        sizes = [p.total_trace_kb * KB for p in INTERACTIVE_PROFILES]
+        assert arithmetic_mean(sizes) == pytest.approx(16.1 * MB, rel=0.05)
+
+    def test_word_is_largest_at_34_2mb(self):
+        largest = max(INTERACTIVE_PROFILES, key=lambda p: p.total_trace_kb)
+        assert largest.name == "word"
+        assert largest.total_trace_kb * KB == pytest.approx(34.2 * MB, rel=0.01)
+
+    def test_twenty_fold_increase_over_spec(self):
+        spec_avg = arithmetic_mean(p.total_trace_kb for p in SPEC2000_PROFILES)
+        app_avg = arithmetic_mean(p.total_trace_kb for p in INTERACTIVE_PROFILES)
+        assert app_avg / spec_avg == pytest.approx(20, rel=0.25)
+
+    def test_only_solitaire_below_5kbs(self):
+        below = [
+            p.name for p in INTERACTIVE_PROFILES
+            if p.insertion_rate_kb_per_s <= 5.0
+        ]
+        assert below == ["solitaire"]
+
+    def test_average_unmap_fraction_near_15pct(self):
+        fractions = [p.unmap_fraction for p in INTERACTIVE_PROFILES]
+        assert arithmetic_mean(fractions) == pytest.approx(0.15, abs=0.02)
+
+
+class TestCatalogLookup:
+    def test_all_profiles_is_38(self):
+        assert len(all_profiles()) == 38
+
+    def test_names_unique(self):
+        names = [p.name for p in all_profiles()]
+        assert len(set(names)) == len(names)
+
+    def test_get_profile_spans_suites(self):
+        assert get_profile("gzip").suite == "spec"
+        assert get_profile("word").suite == "interactive"
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(WorkloadError):
+            get_profile("nope")
+
+    def test_profiles_for_suite(self):
+        assert len(profiles_for_suite("spec")) == 26
+        assert len(profiles_for_suite("interactive")) == 12
+        with pytest.raises(WorkloadError):
+            profiles_for_suite("mobile")
+
+    def test_expansions_around_500pct(self):
+        expansions = [p.code_expansion for p in all_profiles()]
+        assert 4.0 < arithmetic_mean(expansions) < 6.0

@@ -1,0 +1,124 @@
+"""Tests for the log synthesizer: aggregate fidelity and determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.lifetimes import lifetime_histogram
+from repro.tracelog.stats import summarize_log
+from repro.workloads.catalog import get_profile
+from repro.workloads.synthesis import plan_workload, synthesize_log
+
+
+@pytest.fixture(scope="module")
+def gzip_log():
+    return synthesize_log(get_profile("gzip"), seed=7)
+
+
+@pytest.fixture(scope="module")
+def word_log():
+    return synthesize_log(get_profile("word"), seed=7)
+
+
+class TestStructuralValidity:
+    def test_logs_validate(self, gzip_log, word_log):
+        gzip_log.validate()
+        word_log.validate()
+
+    def test_total_bytes_match_scaled_profile(self, gzip_log):
+        profile = get_profile("gzip")
+        assert gzip_log.total_trace_bytes == profile.scaled_trace_bytes()
+
+    def test_end_time_matches_duration(self, gzip_log):
+        profile = get_profile("gzip")
+        assert gzip_log.end_time == int(profile.duration_seconds * 1_000_000)
+
+    def test_deterministic(self):
+        profile = get_profile("art")
+        a = synthesize_log(profile, seed=3)
+        b = synthesize_log(profile, seed=3)
+        assert a.records == b.records
+
+    def test_seed_changes_log(self):
+        profile = get_profile("art")
+        a = synthesize_log(profile, seed=3)
+        b = synthesize_log(profile, seed=4)
+        assert a.records != b.records
+
+    def test_scale_divides_population(self):
+        profile = get_profile("gzip")
+        full = synthesize_log(profile, seed=1, scale=1.0)
+        half = synthesize_log(profile, seed=1, scale=2.0)
+        assert half.n_traces == pytest.approx(full.n_traces / 2, rel=0.1)
+
+
+class TestCalibrationFidelity:
+    def test_unmap_fraction_near_target(self, word_log):
+        profile = get_profile("word")
+        stats = summarize_log(word_log)
+        assert stats.unmapped_fraction == pytest.approx(
+            profile.unmap_fraction, abs=0.06
+        )
+
+    def test_spec_has_no_unmaps(self, gzip_log):
+        assert summarize_log(gzip_log).n_unmaps == 0
+
+    def test_lifetimes_u_shaped(self, gzip_log, word_log):
+        assert lifetime_histogram(gzip_log).is_u_shaped
+        assert lifetime_histogram(word_log).is_u_shaped
+
+    def test_lifetime_mix_matches_profile(self, word_log):
+        profile = get_profile("word")
+        histogram = lifetime_histogram(word_log)
+        assert histogram.short_lived == pytest.approx(
+            profile.lifetime_mix.short * 100, abs=8
+        )
+        assert histogram.long_lived == pytest.approx(
+            profile.lifetime_mix.long * 100, abs=8
+        )
+
+    def test_median_size_near_242(self, word_log):
+        stats = summarize_log(word_log)
+        assert stats.median_trace_size == pytest.approx(242, rel=0.35)
+
+
+class TestPlan:
+    def test_categories_cover_population(self):
+        plan = plan_workload(get_profile("gzip"), seed=1)
+        categories = {t.category for t in plan.traces}
+        assert categories == {"short", "medium", "long"}
+
+    def test_short_traces_die_young(self):
+        plan = plan_workload(get_profile("word"), seed=1)
+        for planned in plan.traces:
+            if planned.category == "short" and planned.accesses:
+                last = planned.accesses[-1][0]
+                lifetime = (last - planned.t_create) / plan.end_time
+                assert lifetime <= 0.2
+
+    def test_long_traces_live_long(self):
+        plan = plan_workload(get_profile("word"), seed=1)
+        long_traces = [t for t in plan.traces if t.category == "long"]
+        spans = []
+        for planned in long_traces:
+            if planned.accesses:
+                spans.append(
+                    (planned.accesses[-1][0] - planned.t_create) / plan.end_time
+                )
+        assert min(spans) > 0.8
+
+    def test_dll_traces_die_before_their_unmap(self):
+        plan = plan_workload(get_profile("word"), seed=1)
+        unmap_times = dict()
+        for time, module_id in plan.unmaps:
+            unmap_times[module_id] = time
+        for planned in plan.traces:
+            if planned.module_id in unmap_times and planned.accesses:
+                assert planned.accesses[-1][0] < unmap_times[planned.module_id]
+
+    def test_pins_reference_real_traces(self):
+        plan = plan_workload(get_profile("word"), seed=1)
+        ids = {t.trace_id for t in plan.traces}
+        for t_pin, t_unpin, trace_id in plan.pins:
+            assert trace_id in ids
+            assert t_pin < t_unpin
