@@ -24,6 +24,7 @@ Quickstart::
 """
 
 from repro._version import __version__
+from repro.analysis import SanitizerHarness
 from repro.cachesim import (
     Arena,
     CacheSimulator,
@@ -38,7 +39,7 @@ from repro.core import (
     UnifiedCacheManager,
 )
 from repro.core.config import BEST_CONFIG, FIGURE9_CONFIGS
-from repro.errors import ReproError
+from repro.errors import InvariantViolation, ReproError
 from repro.overhead import CostModel, OverheadAccount, TABLE2_COSTS
 from repro.policies import (
     CircularCache,
@@ -69,12 +70,14 @@ __all__ = [
     "FIGURE9_CONFIGS",
     "GenerationalCacheManager",
     "GenerationalConfig",
+    "InvariantViolation",
     "LRUCache",
     "OverheadAccount",
     "PreemptiveFlushCache",
     "PromotionMode",
     "PseudoCircularCache",
     "ReproError",
+    "SanitizerHarness",
     "SimulationResult",
     "TABLE2_COSTS",
     "TraceLog",

@@ -1,0 +1,66 @@
+"""Domain-aware static analysis + runtime sanitizing for the repro.
+
+Two halves:
+
+* **cachelint** — an AST-based lint with domain rules (determinism,
+  policy-API conformance, float-equality, exception hygiene, units
+  hygiene, mutable defaults), ``# cachelint: disable=`` suppressions,
+  and text/JSON reporters.  CLI: ``repro-lint``.
+* **sanitizer** — :class:`SanitizerHarness`, which re-checks the
+  cache/arena structural invariants every N replayed events and raises
+  structured :class:`~repro.errors.InvariantViolation` errors.
+
+Quickstart::
+
+    from repro.analysis import Analyzer, all_rules
+    report = Analyzer(all_rules()).analyze_paths(["src/repro"])
+    assert report.exit_code() == 0
+
+    from repro.analysis import SanitizerHarness
+    simulator = CacheSimulator(manager, sanitizer=SanitizerHarness(manager))
+"""
+
+from repro.analysis import builtin  # noqa: F401 - populates the registry
+from repro.analysis.core import (
+    REGISTRY,
+    FileContext,
+    Rule,
+    Severity,
+    Violation,
+    all_rules,
+    make_rules,
+    register,
+)
+from repro.analysis.engine import AnalysisReport, Analyzer, analyze
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.sanitizer import (
+    DEFAULT_STRIDE,
+    SanitizerHarness,
+    disable_sanitizer,
+    enable_sanitizer,
+    sanitizer_enabled,
+)
+from repro.analysis.suppressions import SuppressionMap, parse_suppressions
+
+__all__ = [
+    "AnalysisReport",
+    "Analyzer",
+    "DEFAULT_STRIDE",
+    "FileContext",
+    "REGISTRY",
+    "Rule",
+    "SanitizerHarness",
+    "Severity",
+    "SuppressionMap",
+    "Violation",
+    "all_rules",
+    "analyze",
+    "disable_sanitizer",
+    "enable_sanitizer",
+    "make_rules",
+    "parse_suppressions",
+    "register",
+    "render_json",
+    "render_text",
+    "sanitizer_enabled",
+]

@@ -1,0 +1,331 @@
+"""The builtin cachelint rules.
+
+Each rule encodes one invariant the reproduction's results depend on —
+determinism of the simulator core, conformance of eviction policies to
+the :class:`~repro.policies.base.CodeCache` contract, numeric hygiene
+in the metrics layer.  See ``docs/analysis.md`` for the rationale and
+examples of every rule.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import FileContext, Rule, Severity, register
+from repro.units import KB, MB
+
+#: Modules whose direct use makes a simulation nondeterministic (or
+#: dependent on wall-clock state).  Randomness must come from
+#: :mod:`repro.rand`'s seeded substreams instead.
+NONDETERMINISTIC_MODULES = frozenset(
+    {"random", "time", "datetime", "secrets", "uuid"}
+)
+
+#: Byte-unit magic numbers that must be spelled via repro.units.
+_BYTE_LITERALS = {
+    KB: "KB",
+    MB: "MB",
+}
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def _body_does_nothing(body: list[ast.stmt]) -> bool:
+    """True when a handler body is only ``pass``/docstring/``...``."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or bare `...`
+        return False
+    return True
+
+
+@register
+class NoNondeterminismRule(Rule):
+    """Simulation code must be reproducible from the master seed: no
+    ``random``/``time``/``datetime``-family imports and no salted
+    builtin ``hash()`` outside :mod:`repro.rand`."""
+
+    rule_id = "no-nondeterminism"
+    description = (
+        "sim core must not import random/time/datetime or call builtin "
+        "hash(); route randomness through repro.rand"
+    )
+    severity = Severity.ERROR
+    exempt_paths = ("*repro/rand.py",)
+
+    def visit_Import(self, ctx: FileContext, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in NONDETERMINISTIC_MODULES:
+                ctx.report(
+                    self,
+                    node,
+                    f"import of nondeterministic module {alias.name!r}; "
+                    "use the seeded streams in repro.rand",
+                )
+
+    def visit_ImportFrom(self, ctx: FileContext, node: ast.ImportFrom) -> None:
+        root = (node.module or "").split(".")[0]
+        if node.level == 0 and root in NONDETERMINISTIC_MODULES:
+            ctx.report(
+                self,
+                node,
+                f"import from nondeterministic module {root!r}; "
+                "use the seeded streams in repro.rand",
+            )
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "hash":
+            ctx.report(
+                self,
+                node,
+                "builtin hash() is salted per-process (PYTHONHASHSEED); "
+                "use repro.rand.derive_seed for stable hashing",
+            )
+
+
+@register
+class PolicyApiRule(Rule):
+    """Every ``CodeCache`` policy must implement the hook contract:
+    define ``_allocate`` and ``policy_name``, and an overridden
+    ``__init__`` must call ``super().__init__``."""
+
+    rule_id = "policy-api"
+    description = (
+        "CodeCache subclasses must define _allocate and policy_name, "
+        "and their __init__ must call super().__init__"
+    )
+    severity = Severity.ERROR
+    include_paths = ("*policies/*.py",)
+    exempt_paths = ("*policies/base.py", "*policies/__init__.py")
+
+    def begin_file(self, ctx: FileContext) -> None:
+        # Class names known (in this file) to derive from CodeCache,
+        # so BaseX -> SubX chains are still checked.
+        self._policy_classes: set[str] = set()
+
+    def visit_ClassDef(self, ctx: FileContext, node: ast.ClassDef) -> None:
+        base_names = {
+            base.id if isinstance(base, ast.Name) else base.attr
+            for base in node.bases
+            if isinstance(base, (ast.Name, ast.Attribute))
+        }
+        direct = "CodeCache" in base_names
+        inherited = bool(base_names & self._policy_classes)
+        if not direct and not inherited:
+            return
+        self._policy_classes.add(node.name)
+
+        methods = {
+            stmt.name: stmt
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        class_attrs = {
+            target.id
+            for stmt in node.body
+            if isinstance(stmt, ast.Assign)
+            for target in stmt.targets
+            if isinstance(target, ast.Name)
+        } | {
+            stmt.target.id
+            for stmt in node.body
+            if isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+        }
+
+        if direct:
+            if "_allocate" not in methods:
+                ctx.report(
+                    self,
+                    node,
+                    f"policy {node.name!r} does not override _allocate",
+                )
+            if "policy_name" not in class_attrs:
+                ctx.report(
+                    self,
+                    node,
+                    f"policy {node.name!r} does not set policy_name",
+                )
+
+        init = methods.get("__init__")
+        if init is not None and not self._calls_super_init(init):
+            ctx.report(
+                self,
+                init,
+                f"{node.name}.__init__ does not call super().__init__ "
+                "(the trace table and arena would be left unbuilt)",
+            )
+
+    @staticmethod
+    def _calls_super_init(init: ast.FunctionDef) -> bool:
+        for sub in ast.walk(init):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "__init__"
+                and isinstance(sub.func.value, ast.Call)
+                and isinstance(sub.func.value.func, ast.Name)
+                and sub.func.value.func.id == "super"
+            ):
+                return True
+        return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    """Miss rates, fractions and overhead ratios are floats; comparing
+    them with ``==``/``!=`` against float literals is a rounding bug
+    waiting to happen."""
+
+    rule_id = "float-equality"
+    description = (
+        "no ==/!= comparisons against float literals; use math.isclose "
+        "or an inequality guard"
+    )
+    severity = Severity.ERROR
+
+    def visit_Compare(self, ctx: FileContext, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_float_literal(left) or _is_float_literal(right):
+                ctx.report(
+                    self,
+                    node,
+                    "equality comparison against a float literal; use "
+                    "math.isclose or an inequality guard",
+                )
+                return
+
+
+@register
+class BareExceptRule(Rule):
+    """Swallowed exceptions hide simulator corruption; handlers must
+    name a specific type and actually do something."""
+
+    rule_id = "bare-except"
+    description = (
+        "no bare `except:` and no `except Exception: pass`-style "
+        "swallowing outside errors.py"
+    )
+    severity = Severity.ERROR
+    exempt_paths = ("*repro/errors.py",)
+
+    def visit_ExceptHandler(self, ctx: FileContext, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            ctx.report(
+                self,
+                node,
+                "bare `except:` catches SystemExit/KeyboardInterrupt and "
+                "hides corruption; name the exception type",
+            )
+            return
+        names = []
+        types = node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+        for entry in types:
+            if isinstance(entry, ast.Name):
+                names.append(entry.id)
+            elif isinstance(entry, ast.Attribute):
+                names.append(entry.attr)
+        if {"Exception", "BaseException"} & set(names) and _body_does_nothing(
+            node.body
+        ):
+            ctx.report(
+                self,
+                node,
+                f"`except {' | '.join(names)}` with an empty body swallows "
+                "every error; handle or re-raise",
+            )
+
+
+@register
+class UnitsHygieneRule(Rule):
+    """Byte arithmetic must go through :mod:`repro.units` (KB/MB
+    constants and helpers) instead of repeating 1024 magic numbers."""
+
+    rule_id = "units-hygiene"
+    description = (
+        "byte arithmetic must use repro.units (KB/MB) rather than raw "
+        "1024/1048576 literals"
+    )
+    severity = Severity.WARNING
+    exempt_paths = ("*repro/units.py",)
+
+    def visit_BinOp(self, ctx: FileContext, node: ast.BinOp) -> None:
+        for operand in (node.left, node.right):
+            if (
+                isinstance(operand, ast.Constant)
+                and isinstance(operand.value, int)
+                and not isinstance(operand.value, bool)
+                and operand.value in _BYTE_LITERALS
+            ):
+                ctx.report(
+                    self,
+                    node,
+                    f"magic byte constant {operand.value}; use "
+                    f"repro.units.{_BYTE_LITERALS[operand.value]}",
+                )
+                return
+
+
+@register
+class MutableDefaultRule(Rule):
+    """A mutable default argument is shared across calls — in a
+    simulator that aliases state across runs and silently breaks
+    replay determinism."""
+
+    rule_id = "mutable-default"
+    description = "no mutable default arguments (list/dict/set literals or calls)"
+    severity = Severity.ERROR
+
+    _MUTABLE_CALLS = frozenset(
+        {"list", "dict", "set", "defaultdict", "Counter", "OrderedDict", "deque"}
+    )
+
+    def visit_FunctionDef(self, ctx: FileContext, node: ast.FunctionDef) -> None:
+        self._check(ctx, node)
+
+    def visit_AsyncFunctionDef(
+        self, ctx: FileContext, node: ast.AsyncFunctionDef
+    ) -> None:
+        self._check(ctx, node)
+
+    def visit_Lambda(self, ctx: FileContext, node: ast.Lambda) -> None:
+        self._check(ctx, node)
+
+    def _check(
+        self, ctx: FileContext, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda
+    ) -> None:
+        defaults = [*node.args.defaults, *node.args.kw_defaults]
+        for default in defaults:
+            if default is None:
+                continue
+            if self._is_mutable(default):
+                name = getattr(node, "name", "<lambda>")
+                ctx.report(
+                    self,
+                    default,
+                    f"mutable default argument in {name}(); default to "
+                    "None and construct inside the body",
+                )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._MUTABLE_CALLS
+        )

@@ -1,0 +1,93 @@
+"""The ``repro-lint`` command-line entry point.
+
+Examples::
+
+    repro-lint src/repro                 # lint the package, text output
+    repro-lint --format json src/repro   # machine-readable report
+    repro-lint --select float-equality,bare-except src/repro
+    repro-lint --list-rules              # show every registered rule
+
+Exit codes: 0 clean (warnings allowed), 1 error-severity violations,
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+from repro.analysis import builtin  # noqa: F401 - populates the registry
+from repro.analysis.core import REGISTRY, make_rules
+from repro.analysis.engine import Analyzer
+from repro.analysis.reporters import FORMATS
+from repro.errors import ConfigError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the repro-lint argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Domain-aware static checks for the generational code-cache "
+            "reproduction (cachelint)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=sorted(FORMATS), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    width = max(len(rule_id) for rule_id in REGISTRY)
+    for rule_id, rule_class in REGISTRY.items():
+        severity = rule_class.severity.label()
+        print(f"{rule_id:{width}s}  {severity:7s}  {rule_class.description}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+    selected = args.select.split(",") if args.select else None
+    try:
+        rules = make_rules(selected)
+    except ConfigError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    paths = args.paths or ["src/repro"]
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        for path in missing:
+            print(f"repro-lint: no such file or directory: {path}", file=sys.stderr)
+        return 2
+    report = Analyzer(rules).analyze_paths(paths)
+    try:
+        print(FORMATS[args.format](report))
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe early;
+        # point stdout at devnull so interpreter shutdown stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

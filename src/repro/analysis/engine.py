@@ -1,0 +1,152 @@
+"""The cachelint analysis engine.
+
+Walks each module's AST exactly once and dispatches every node to the
+registered rules that declared a ``visit_<NodeType>`` handler for it.
+Files that fail to parse produce a synthetic ``parse-error`` violation
+instead of aborting the run.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.core import FileContext, Rule, Severity, Violation, all_rules
+from repro.analysis.suppressions import parse_suppressions
+
+#: Rule id reported for files the parser rejects.
+PARSE_ERROR = "parse-error"
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analyzer run produced.
+
+    Attributes:
+        violations: All hits across all files, in file order.
+        files_checked: Number of python files analyzed.
+        suppressed: Hits silenced by ``# cachelint:`` comments.
+    """
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def error_count(self) -> int:
+        """Number of ERROR-severity violations."""
+        return sum(1 for v in self.violations if v.severity is Severity.ERROR)
+
+    @property
+    def warning_count(self) -> int:
+        """Number of WARNING-severity violations."""
+        return sum(1 for v in self.violations if v.severity is Severity.WARNING)
+
+    def exit_code(self) -> int:
+        """Process exit code: 1 when any error-severity hit exists."""
+        return 1 if self.error_count else 0
+
+    def by_rule(self) -> dict[str, int]:
+        """Hit counts per rule id."""
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
+        return counts
+
+
+class Analyzer:
+    """Runs a rule set over sources, files, or whole directory trees."""
+
+    def __init__(self, rules: list[Rule] | None = None) -> None:
+        self.rules = rules if rules is not None else all_rules()
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def analyze_source(self, source: str, path: str = "<string>") -> list[Violation]:
+        """Check one in-memory source blob (the test fixtures' path)."""
+        self._last_suppressed = 0
+        applicable = [rule for rule in self.rules if rule.applies_to(path)]
+        if not applicable:
+            return []
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            return [
+                Violation(
+                    rule_id=PARSE_ERROR,
+                    severity=Severity.ERROR,
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ]
+        ctx = FileContext(
+            path=path,
+            source=source,
+            tree=tree,
+            suppressions=parse_suppressions(source),
+        )
+        self._run_rules(ctx, applicable)
+        self._last_suppressed = ctx.suppressed_count
+        return ctx.violations
+
+    def analyze_paths(self, paths: list[str | Path]) -> AnalysisReport:
+        """Check every ``.py`` file under the given files/directories."""
+        report = AnalysisReport()
+        for file_path in self._collect(paths):
+            source = file_path.read_text(encoding="utf-8")
+            report.files_checked += 1
+            report.violations.extend(
+                self.analyze_source(source, path=str(file_path))
+            )
+            report.suppressed += self._last_suppressed
+        return report
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    _last_suppressed = 0
+
+    @staticmethod
+    def _collect(paths: list[str | Path]) -> list[Path]:
+        files: list[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                files.extend(
+                    p
+                    for p in sorted(path.rglob("*.py"))
+                    if not any(part.startswith(".") for part in p.parts)
+                )
+            else:
+                files.append(path)
+        return files
+
+    def _run_rules(self, ctx: FileContext, rules: list[Rule]) -> None:
+        dispatch: dict[type, list[tuple[Rule, object]]] = {}
+        for rule in rules:
+            rule.begin_file(ctx)
+            for name in dir(rule):
+                if not name.startswith("visit_"):
+                    continue
+                node_type = getattr(ast, name[len("visit_"):], None)
+                if node_type is None:
+                    continue
+                dispatch.setdefault(node_type, []).append(
+                    (rule, getattr(rule, name))
+                )
+        for node in ast.walk(ctx.tree):
+            for _rule, handler in dispatch.get(type(node), ()):
+                handler(ctx, node)
+        for rule in rules:
+            rule.end_file(ctx)
+
+
+def analyze(paths: list[str | Path], rules: list[Rule] | None = None) -> AnalysisReport:
+    """Convenience wrapper: run *rules* (default: all) over *paths*."""
+    return Analyzer(rules).analyze_paths(paths)

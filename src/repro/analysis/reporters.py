@@ -1,0 +1,60 @@
+"""Report rendering for cachelint.
+
+Two formats: a compiler-style text listing (the default, one line per
+violation plus a summary) and a machine-readable JSON document for CI
+annotation tooling.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import AnalysisReport
+
+
+def render_text(report: AnalysisReport) -> str:
+    """Compiler-style listing: ``path:line:col: severity [rule] msg``."""
+    lines = [
+        f"{v.location()}: {v.severity.label()} [{v.rule_id}] {v.message}"
+        for v in report.violations
+    ]
+    summary = (
+        f"checked {report.files_checked} file(s): "
+        f"{report.error_count} error(s), {report.warning_count} warning(s)"
+    )
+    if report.suppressed:
+        summary += f", {report.suppressed} suppressed"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """JSON document with per-violation records and a summary block."""
+    payload = {
+        "violations": [
+            {
+                "rule": v.rule_id,
+                "severity": v.severity.label(),
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "message": v.message,
+            }
+            for v in report.violations
+        ],
+        "summary": {
+            "files_checked": report.files_checked,
+            "errors": report.error_count,
+            "warnings": report.warning_count,
+            "suppressed": report.suppressed,
+            "by_rule": report.by_rule(),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+#: Renderer lookup used by the CLI's ``--format`` flag.
+FORMATS = {
+    "text": render_text,
+    "json": render_json,
+}

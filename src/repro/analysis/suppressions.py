@@ -1,0 +1,77 @@
+"""Parsing of ``# cachelint:`` suppression comments.
+
+Two forms are recognized, mirroring the classic linter idiom:
+
+* ``# cachelint: disable=rule-a,rule-b`` — suppresses those rules on
+  the line carrying the comment;
+* ``# cachelint: disable-file=rule-a`` — anywhere in the file,
+  suppresses the rules for the whole file.
+
+``disable=all`` (or ``disable-file=all``) suppresses every rule.
+Comments are found with :mod:`tokenize`, so the markers never trigger
+inside string literals.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_MARKER = re.compile(
+    r"#\s*cachelint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\-\s]+)"
+)
+
+#: Wildcard accepted in place of a rule id.
+ALL = "all"
+
+
+@dataclass
+class SuppressionMap:
+    """Which rules are silenced where, for one file.
+
+    Attributes:
+        by_line: Line number -> rule ids disabled on that line.
+        file_wide: Rule ids disabled for the whole file.
+    """
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether *rule_id* is silenced at *line*."""
+        if self.file_wide & {rule_id, ALL}:
+            return True
+        at_line = self.by_line.get(line, ())
+        return rule_id in at_line or ALL in at_line
+
+
+def parse_suppressions(source: str) -> SuppressionMap:
+    """Extract every ``# cachelint:`` marker from *source*.
+
+    Unparseable source yields an empty map — the engine reports the
+    syntax error separately.
+    """
+    result = SuppressionMap()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return result
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _MARKER.search(token.string)
+        if match is None:
+            continue
+        rules = {
+            rule.strip()
+            for rule in match.group("rules").split(",")
+            if rule.strip()
+        }
+        if match.group("scope") == "disable-file":
+            result.file_wide |= rules
+        else:
+            result.by_line.setdefault(token.start[0], set()).update(rules)
+    return result

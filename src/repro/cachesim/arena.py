@@ -16,6 +16,7 @@ from repro.errors import (
     ArenaBoundsError,
     ArenaOverlapError,
     DuplicateTraceError,
+    InvariantViolation,
     UnknownTraceError,
 )
 
@@ -210,15 +211,50 @@ class Arena:
         return removed
 
     def check_invariants(self) -> None:
-        """Assert internal consistency (used by property tests)."""
+        """Verify internal consistency (property tests, sanitizer).
+
+        Raises:
+            InvariantViolation: placements overlap, cross the capacity
+                boundary, or disagree with the byte accounting.
+        """
         previous_end = 0
+        previous_id: int | None = None
         used = 0
         for start in self._starts:
             placement = self._by_start[start]
-            assert placement.start == start
-            assert placement.start >= previous_end, "placements overlap"
-            assert placement.end <= self.capacity, "placement out of bounds"
+            if placement.start != start:
+                raise InvariantViolation(
+                    "arena-extents",
+                    f"index key {start} disagrees with placement start "
+                    f"{placement.start}",
+                    trace_id=placement.trace_id,
+                )
+            if placement.start < previous_end:
+                raise InvariantViolation(
+                    "arena-extents",
+                    f"placement [{placement.start}, {placement.end}) overlaps "
+                    f"trace {previous_id} ending at {previous_end}",
+                    trace_id=placement.trace_id,
+                )
+            if placement.end > self.capacity:
+                raise InvariantViolation(
+                    "arena-extents",
+                    f"placement [{placement.start}, {placement.end}) outside "
+                    f"arena [0, {self.capacity})",
+                    trace_id=placement.trace_id,
+                )
             previous_end = placement.end
+            previous_id = placement.trace_id
             used += placement.size
-        assert used == self._used, "used-byte accounting is stale"
-        assert len(self._by_start) == len(self._by_trace) == len(self._starts)
+        if used != self._used:
+            raise InvariantViolation(
+                "arena-extents",
+                f"used-byte accounting is stale: placements sum to {used}, "
+                f"arena reports {self._used}",
+            )
+        if not (len(self._by_start) == len(self._by_trace) == len(self._starts)):
+            raise InvariantViolation(
+                "arena-extents",
+                f"index sizes disagree: {len(self._starts)} starts, "
+                f"{len(self._by_start)} by-start, {len(self._by_trace)} by-trace",
+            )

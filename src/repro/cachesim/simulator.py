@@ -39,6 +39,7 @@ from repro.tracelog.records import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.sanitizer import SanitizerHarness
     from repro.core.manager import CacheManager
 
 
@@ -57,10 +58,18 @@ class CacheSimulator:
         self,
         manager: CacheManager,
         cost_model: CostModel | None = None,
+        sanitizer: SanitizerHarness | None = None,
     ) -> None:
         self.manager = manager
         self.stats = CacheStats()
         self.account = OverheadAccount(model=cost_model) if cost_model else None
+        # Imported lazily: repro.analysis.sanitizer reaches back into
+        # repro.core, which would close an import cycle at module load.
+        from repro.analysis.sanitizer import default_sanitizer_for
+
+        # An explicit harness wins; otherwise the process-wide
+        # --sanitize switch decides (None when sanitizing is off).
+        self.sanitizer = sanitizer or default_sanitizer_for(manager)
         self._known: dict[int, _TraceInfo] = {}
         # Pins requested while the trace was non-resident must apply as
         # soon as it becomes resident again.
@@ -165,6 +174,10 @@ class CacheSimulator:
                 self.on_unpin(record)
             elif isinstance(record, EndOfLog):
                 break
+            if self.sanitizer:
+                self.sanitizer.observe_event(record)
+        if self.sanitizer:
+            self.sanitizer.final_check()
         self.stats.check_invariants()
         return SimulationResult(
             benchmark=log.benchmark,
@@ -195,6 +208,8 @@ class CacheSimulator:
                 self.stats.promoted_bytes += effect.size
         if self.account:
             self.account.charge_effects(effects)
+        if self.sanitizer:
+            self.sanitizer.observe_effects(effects)
 
     def _apply_pending_pin(self, trace_id: int) -> None:
         if trace_id in self._pending_pins:
@@ -205,6 +220,7 @@ def simulate_log(
     log: TraceLog,
     manager: CacheManager,
     cost_model: CostModel | None = None,
+    sanitizer: SanitizerHarness | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: replay *log* against *manager*."""
-    return CacheSimulator(manager, cost_model=cost_model).run(log)
+    return CacheSimulator(manager, cost_model=cost_model, sanitizer=sanitizer).run(log)

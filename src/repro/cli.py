@@ -14,6 +14,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.analysis.sanitizer import DEFAULT_STRIDE, TOTALS, enable_sanitizer
+from repro.errors import ConfigError
 from repro.experiments.base import render_table
 from repro.experiments.dataset import quick_subset
 from repro.experiments.runner import (
@@ -42,6 +44,25 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_sanitize(args: argparse.Namespace) -> None:
+    """Turn on the process-wide replay sanitizer when requested."""
+    if getattr(args, "sanitize", False):
+        try:
+            enable_sanitizer(stride=args.sanitize_stride)
+        except ConfigError as exc:
+            print(f"repro-gencache: {exc}", file=sys.stderr)
+            raise SystemExit(2) from exc
+
+
+def _print_sanitize_summary(args: argparse.Namespace) -> None:
+    if getattr(args, "sanitize", False):
+        print(
+            f"sanitizer: {TOTALS.checks} invariant sweep(s) over "
+            f"{TOTALS.events} event(s) across {TOTALS.simulations} "
+            "simulation(s); no violations"
+        )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     known = ALL_EXPERIMENT_IDS + EXTENSION_EXPERIMENT_IDS
     ids = ALL_EXPERIMENT_IDS if args.experiment == "all" else (args.experiment,)
@@ -54,6 +75,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         return 2
     subset = quick_subset() if args.quick else None
+    _apply_sanitize(args)
     results = run_all(
         seed=args.seed,
         scale_multiplier=args.scale,
@@ -61,10 +83,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         experiment_ids=tuple(ids),
     )
     print(render_all(results))
+    _print_sanitize_summary(args)
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    _apply_sanitize(args)
     result = sweep_module.run(
         benchmark=args.benchmark,
         seed=args.seed,
@@ -78,6 +102,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         scale_multiplier=args.scale,
     )
     print(render_table(link))
+    _print_sanitize_summary(args)
     return 0
 
 
@@ -94,6 +119,18 @@ def _cmd_record(args: argparse.Namespace) -> int:
         f"{' [binary]' if args.binary else ''}"
     )
     return 0
+
+
+def _add_sanitize_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="re-check cache/arena invariants during replay, raising "
+        "InvariantViolation on the first corruption",
+    )
+    parser.add_argument(
+        "--sanitize-stride", type=int, default=DEFAULT_STRIDE, metavar="N",
+        help=f"events between invariant sweeps (default: {DEFAULT_STRIDE})",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -120,11 +157,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="use the 8-benchmark representative subset",
     )
+    _add_sanitize_flags(run_parser)
 
     sweep_parser = sub.add_parser("sweep", help="Section 6.1 config sweep")
     sweep_parser.add_argument("benchmark", nargs="?", default="word")
     sweep_parser.add_argument("--seed", type=int, default=42)
     sweep_parser.add_argument("--scale", type=float, default=1.0)
+    _add_sanitize_flags(sweep_parser)
 
     record_parser = sub.add_parser("record", help="synthesize and save a log")
     record_parser.add_argument("benchmark")

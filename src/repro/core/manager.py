@@ -20,6 +20,7 @@ from repro.core.effects import (
     Inserted,
     Promoted,
 )
+from repro.errors import InvariantViolation
 from repro.policies.base import CodeCache
 
 __all__ = [
@@ -114,11 +115,21 @@ class CacheManager(abc.ABC):
 
     def check_invariants(self) -> None:
         """A trace must live in at most one cache; every cache must be
-        internally consistent."""
+        internally consistent.
+
+        Raises:
+            InvariantViolation: on the first inconsistency found.
+        """
         seen: set[int] = set()
         for cache in self.caches():
             cache.check_invariants()
             resident = set(cache.arena.trace_ids())
             overlap = seen & resident
-            assert not overlap, f"traces {overlap} resident in two caches"
+            if overlap:
+                raise InvariantViolation(
+                    "dual-residency",
+                    f"traces {sorted(overlap)} resident in two caches",
+                    cache=cache.name,
+                    trace_id=min(overlap),
+                )
             seen |= resident

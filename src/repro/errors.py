@@ -64,3 +64,51 @@ class RuntimeStateError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness failed to produce its result table."""
+
+
+class InvariantViolation(ReproError, AssertionError):
+    """A simulation invariant did not hold.
+
+    Raised by the runtime sanitizer
+    (:class:`repro.analysis.sanitizer.SanitizerHarness`) with enough
+    context to localize the corruption: which invariant, which cache,
+    which trace, and at what virtual time.  Subclasses
+    ``AssertionError`` as well so callers treating invariant checks as
+    assertions keep working.
+
+    Attributes:
+        invariant: Stable id of the violated invariant.
+        cache: Name of the offending cache, if cache-specific.
+        trace_id: The offending trace, if trace-specific.
+        time: Virtual time of the event being processed, if known.
+        context: Free-form extra details (event repr, counts, extents).
+        message: The bare message, without the location suffix.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        *,
+        cache: str | None = None,
+        trace_id: int | None = None,
+        time: int | None = None,
+        context: dict[str, object] | None = None,
+    ) -> None:
+        self.invariant = invariant
+        self.message = message
+        self.cache = cache
+        self.trace_id = trace_id
+        self.time = time
+        self.context = dict(context or {})
+        where = [
+            part
+            for part in (
+                f"cache={cache}" if cache is not None else None,
+                f"trace={trace_id}" if trace_id is not None else None,
+                f"time={time}" if time is not None else None,
+            )
+            if part
+        ]
+        suffix = f" ({', '.join(where)})" if where else ""
+        super().__init__(f"[{invariant}] {message}{suffix}")

@@ -14,7 +14,7 @@ def miss_rate_reduction(
     Returns a fraction: 0.18 means an 18% lower miss rate.
     """
     base_rate = baseline.miss_rate
-    if base_rate == 0.0:
+    if base_rate <= 0.0:
         return 0.0
     return (base_rate - candidate.miss_rate) / base_rate
 

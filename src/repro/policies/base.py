@@ -14,7 +14,11 @@ import abc
 from dataclasses import dataclass, field
 
 from repro.cachesim.arena import Arena
-from repro.errors import DuplicateTraceError, UnknownTraceError
+from repro.errors import (
+    DuplicateTraceError,
+    InvariantViolation,
+    UnknownTraceError,
+)
 
 
 @dataclass
@@ -226,12 +230,41 @@ class CodeCache(abc.ABC):
         return trace
 
     def check_invariants(self) -> None:
-        """Assert arena/table consistency (used by property tests)."""
-        self.arena.check_invariants()
-        assert set(self.arena.trace_ids()) == set(self._traces)
+        """Verify arena/table consistency (property tests, sanitizer).
+
+        Raises:
+            InvariantViolation: the arena is inconsistent, or the trace
+                table disagrees with the arena's placements.
+        """
+        try:
+            self.arena.check_invariants()
+        except InvariantViolation as exc:
+            raise InvariantViolation(
+                exc.invariant,
+                exc.message,
+                cache=self.name,
+                trace_id=exc.trace_id,
+                context=exc.context,
+            ) from exc
+        resident = set(self.arena.trace_ids())
+        table = set(self._traces)
+        if resident != table:
+            raise InvariantViolation(
+                "cache-consistency",
+                f"arena/table disagree: arena-only={sorted(resident - table)}, "
+                f"table-only={sorted(table - resident)}",
+                cache=self.name,
+            )
         for trace_id, trace in self._traces.items():
             placement = self.arena.placement_of(trace_id)
-            assert placement.size == trace.size
+            if placement.size != trace.size:
+                raise InvariantViolation(
+                    "cache-consistency",
+                    f"placement size {placement.size} disagrees with trace "
+                    f"record size {trace.size}",
+                    cache=self.name,
+                    trace_id=trace_id,
+                )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

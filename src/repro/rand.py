@@ -11,6 +11,11 @@ from __future__ import annotations
 import hashlib
 import random
 
+#: Re-exported so deterministic code can type-annotate its seeded
+#: generators without importing the random module directly (which the
+#: ``no-nondeterminism`` lint rule forbids outside this file).
+Random = random.Random
+
 
 def derive_seed(master_seed: int, name: str) -> int:
     """Derive a substream seed from *master_seed* and a label.

@@ -12,6 +12,7 @@ event handlers come and go, render/idle loops persist).
 
 from __future__ import annotations
 
+from repro.units import KB, MB
 from repro.workloads.profiles import LifetimeMix, WorkloadProfile
 
 #: GUI-app mix: event-handler churn with a persistent core.
@@ -37,7 +38,7 @@ def _app(
         name=name,
         suite="interactive",
         description=description,
-        total_trace_kb=mb * 1024,
+        total_trace_kb=mb * MB / KB,
         duration_seconds=seconds,
         code_expansion=expansion,
         unmap_fraction=unmap,
@@ -45,7 +46,7 @@ def _app(
         n_phases=max(6, int(seconds / 10)),
         reaccess_short=reaccess_short,
         reaccess_long=reaccess_long,
-        default_scale=max(1.0, mb * 1024 / 1100.0),
+        default_scale=max(1.0, mb * MB / KB / 1100.0),
     )
 
 

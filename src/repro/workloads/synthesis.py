@@ -27,10 +27,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from random import Random
 
 from repro.errors import WorkloadError
-from repro.rand import RandomStreams
+from repro.rand import Random, RandomStreams
 from repro.tracelog.records import (
     EndOfLog,
     LogRecord,

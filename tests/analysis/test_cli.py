@@ -1,0 +1,49 @@
+"""The repro-lint command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.cli import main
+from repro.analysis.core import REGISTRY
+
+
+class TestReproLintCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main([str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_violations_exit_one(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import random\n")
+        assert main([str(tmp_path)]) == 1
+        assert "no-nondeterminism" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import random\n")
+        assert main(["--format", "json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 1
+
+    def test_select_subset_of_rules(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import random\nrate == 0.5\n")
+        assert main(["--select", "float-equality", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "float-equality" in out
+        assert "no-nondeterminism" not in out
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        assert main(["--select", "bogus", str(tmp_path)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in REGISTRY:
+            assert rule_id in out
+
+    def test_single_file_target(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("def f(xs=[]):\n    pass\n")
+        assert main([str(target)]) == 1

@@ -1,0 +1,87 @@
+"""Reporter output snapshots and the self-check that src/repro is
+lint-clean."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import Analyzer, analyze
+from repro.analysis.engine import AnalysisReport
+from repro.analysis.reporters import render_json, render_text
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+FIXTURE = "import random\nrate == 0.5\nsize = mb * 1024\n"
+
+
+def _fixture_report(tmp_path: Path) -> AnalysisReport:
+    target = tmp_path / "fixture.py"
+    target.write_text(FIXTURE)
+    return Analyzer().analyze_paths([target])
+
+
+class TestTextReporter:
+    def test_snapshot(self, tmp_path):
+        report = _fixture_report(tmp_path)
+        prefix = str(tmp_path / "fixture.py")
+        assert render_text(report).splitlines() == [
+            f"{prefix}:1:0: error [no-nondeterminism] import of "
+            "nondeterministic module 'random'; use the seeded streams in "
+            "repro.rand",
+            f"{prefix}:2:0: error [float-equality] equality comparison "
+            "against a float literal; use math.isclose or an inequality guard",
+            f"{prefix}:3:7: warning [units-hygiene] magic byte constant "
+            "1024; use repro.units.KB",
+            "checked 1 file(s): 2 error(s), 1 warning(s)",
+        ]
+
+    def test_summary_counts_suppressed(self, tmp_path):
+        target = tmp_path / "fixture.py"
+        target.write_text("import random  # cachelint: disable=all\n")
+        report = Analyzer().analyze_paths([target])
+        assert report.suppressed == 1
+        assert render_text(report).endswith("1 suppressed")
+
+
+class TestJsonReporter:
+    def test_structure(self, tmp_path):
+        report = _fixture_report(tmp_path)
+        payload = json.loads(render_json(report))
+        assert payload["summary"]["files_checked"] == 1
+        assert payload["summary"]["errors"] == 2
+        assert payload["summary"]["warnings"] == 1
+        assert payload["summary"]["by_rule"] == {
+            "float-equality": 1,
+            "no-nondeterminism": 1,
+            "units-hygiene": 1,
+        }
+        rules = [v["rule"] for v in payload["violations"]]
+        assert rules == ["no-nondeterminism", "float-equality", "units-hygiene"]
+        first = payload["violations"][0]
+        assert first["line"] == 1
+        assert first["severity"] == "error"
+
+    def test_exit_codes(self, tmp_path):
+        report = _fixture_report(tmp_path)
+        assert report.exit_code() == 1
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert Analyzer().analyze_paths([clean]).exit_code() == 0
+
+    def test_warning_only_exits_zero(self, tmp_path):
+        target = tmp_path / "warn.py"
+        target.write_text("size = mb * 1024\n")
+        report = Analyzer().analyze_paths([target])
+        assert report.warning_count == 1
+        assert report.exit_code() == 0
+
+
+class TestSelfCheck:
+    def test_src_repro_is_lint_clean(self):
+        """The package must satisfy its own lint rules (the satellite
+        fixes landed with the rules that caught them)."""
+        report = analyze([REPO_ROOT / "src" / "repro"])
+        assert report.files_checked > 90
+        offending = [v.location() + " " + v.rule_id for v in report.violations]
+        assert offending == []

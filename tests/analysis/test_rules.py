@@ -1,0 +1,270 @@
+"""Per-rule fixture tests: positive, negative, and suppressed snippets."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import Analyzer, make_rules
+
+#: Default fake path — inside the package so every path-scoped rule
+#: except policy-api considers it.
+SIM_PATH = "src/repro/sim/fixture.py"
+POLICY_PATH = "src/repro/policies/fixture.py"
+
+
+def hits(source: str, rule_id: str, path: str = SIM_PATH) -> list[str]:
+    """Rule ids reported by *rule_id*'s rule alone over *source*."""
+    analyzer = Analyzer(make_rules([rule_id]))
+    violations = analyzer.analyze_source(textwrap.dedent(source), path=path)
+    return [v.rule_id for v in violations]
+
+
+class TestNoNondeterminism:
+    def test_import_random_flagged(self):
+        assert hits("import random\n", "no-nondeterminism") == ["no-nondeterminism"]
+
+    def test_from_import_flagged(self):
+        assert hits("from datetime import datetime\n", "no-nondeterminism") == [
+            "no-nondeterminism"
+        ]
+
+    def test_time_module_flagged(self):
+        assert hits("import time\n", "no-nondeterminism") == ["no-nondeterminism"]
+
+    def test_builtin_hash_flagged(self):
+        assert hits("x = hash('label')\n", "no-nondeterminism") == [
+            "no-nondeterminism"
+        ]
+
+    def test_repro_rand_is_fine(self):
+        src = "from repro.rand import RandomStreams\nrng = RandomStreams(42)\n"
+        assert hits(src, "no-nondeterminism") == []
+
+    def test_method_named_hash_is_fine(self):
+        assert hits("x = obj.hash()\n", "no-nondeterminism") == []
+
+    def test_rand_module_is_exempt(self):
+        assert (
+            hits("import random\n", "no-nondeterminism", path="src/repro/rand.py")
+            == []
+        )
+
+    def test_suppressed(self):
+        src = "import random  # cachelint: disable=no-nondeterminism\n"
+        assert hits(src, "no-nondeterminism") == []
+
+
+class TestPolicyApi:
+    GOOD = """
+        class GoodCache(CodeCache):
+            policy_name = "good"
+
+            def __init__(self, capacity, name="cache"):
+                super().__init__(capacity, name)
+
+            def _allocate(self, trace):
+                return 0, []
+    """
+
+    def test_conforming_policy_is_fine(self):
+        assert hits(self.GOOD, "policy-api", path=POLICY_PATH) == []
+
+    def test_missing_allocate_flagged(self):
+        src = """
+            class BadCache(CodeCache):
+                policy_name = "bad"
+        """
+        assert hits(src, "policy-api", path=POLICY_PATH) == ["policy-api"]
+
+    def test_missing_policy_name_flagged(self):
+        src = """
+            class BadCache(CodeCache):
+                def _allocate(self, trace):
+                    return 0, []
+        """
+        assert hits(src, "policy-api", path=POLICY_PATH) == ["policy-api"]
+
+    def test_init_without_super_flagged(self):
+        src = """
+            class BadCache(CodeCache):
+                policy_name = "bad"
+
+                def __init__(self, capacity):
+                    self.capacity = capacity
+
+                def _allocate(self, trace):
+                    return 0, []
+        """
+        assert hits(src, "policy-api", path=POLICY_PATH) == ["policy-api"]
+
+    def test_transitive_subclass_checked(self):
+        src = """
+            class BaseCache(CodeCache):
+                policy_name = "base"
+
+                def _allocate(self, trace):
+                    return 0, []
+
+            class SubCache(BaseCache):
+                def __init__(self, capacity):
+                    self.capacity = capacity
+        """
+        assert hits(src, "policy-api", path=POLICY_PATH) == ["policy-api"]
+
+    def test_outside_policies_dir_not_checked(self):
+        src = """
+            class FreeCache(CodeCache):
+                pass
+        """
+        assert hits(src, "policy-api", path=SIM_PATH) == []
+
+    def test_suppressed(self):
+        src = """
+            class BadCache(CodeCache):  # cachelint: disable=policy-api
+                policy_name = "bad"
+        """
+        assert hits(src, "policy-api", path=POLICY_PATH) == []
+
+
+class TestFloatEquality:
+    def test_eq_float_literal_flagged(self):
+        assert hits("ok = rate == 0.5\n", "float-equality") == ["float-equality"]
+
+    def test_noteq_float_literal_flagged(self):
+        assert hits("ok = 1.0 != rate\n", "float-equality") == ["float-equality"]
+
+    def test_negative_literal_flagged(self):
+        assert hits("ok = rate == -0.5\n", "float-equality") == ["float-equality"]
+
+    def test_inequality_is_fine(self):
+        assert hits("ok = rate <= 0.0\n", "float-equality") == []
+
+    def test_int_literal_is_fine(self):
+        assert hits("ok = count == 3\n", "float-equality") == []
+
+    def test_suppressed(self):
+        src = "ok = rate == 0.5  # cachelint: disable=float-equality\n"
+        assert hits(src, "float-equality") == []
+
+
+class TestBareExcept:
+    def test_bare_except_flagged(self):
+        src = """
+            try:
+                work()
+            except:
+                pass
+        """
+        assert hits(src, "bare-except") == ["bare-except"]
+
+    def test_swallowed_exception_flagged(self):
+        src = """
+            try:
+                work()
+            except Exception:
+                pass
+        """
+        assert hits(src, "bare-except") == ["bare-except"]
+
+    def test_handled_exception_is_fine(self):
+        src = """
+            try:
+                work()
+            except ValueError as exc:
+                raise ReproError(str(exc))
+        """
+        assert hits(src, "bare-except") == []
+
+    def test_exception_with_real_body_is_fine(self):
+        src = """
+            try:
+                work()
+            except Exception as exc:
+                log(exc)
+                raise
+        """
+        assert hits(src, "bare-except") == []
+
+    def test_suppressed_file_wide(self):
+        src = """
+            # cachelint: disable-file=bare-except
+            try:
+                work()
+            except:
+                pass
+        """
+        assert hits(src, "bare-except") == []
+
+
+class TestUnitsHygiene:
+    def test_raw_kb_flagged(self):
+        assert hits("size = mb * 1024\n", "units-hygiene") == ["units-hygiene"]
+
+    def test_raw_mb_flagged(self):
+        assert hits("cap = 4 * 1048576\n", "units-hygiene") == ["units-hygiene"]
+
+    def test_units_constants_are_fine(self):
+        src = "from repro.units import KB\nsize = mb * KB\n"
+        assert hits(src, "units-hygiene") == []
+
+    def test_units_module_is_exempt(self):
+        assert (
+            hits("KB = 2 * 1024\n", "units-hygiene", path="src/repro/units.py")
+            == []
+        )
+
+    def test_suppressed(self):
+        src = "size = mb * 1024  # cachelint: disable=units-hygiene\n"
+        assert hits(src, "units-hygiene") == []
+
+
+class TestMutableDefault:
+    def test_list_literal_flagged(self):
+        assert hits("def f(xs=[]):\n    pass\n", "mutable-default") == [
+            "mutable-default"
+        ]
+
+    def test_dict_call_flagged(self):
+        assert hits("def f(m=dict()):\n    pass\n", "mutable-default") == [
+            "mutable-default"
+        ]
+
+    def test_kwonly_default_flagged(self):
+        assert hits("def f(*, xs={}):\n    pass\n", "mutable-default") == [
+            "mutable-default"
+        ]
+
+    def test_none_default_is_fine(self):
+        assert hits("def f(xs=None):\n    pass\n", "mutable-default") == []
+
+    def test_tuple_default_is_fine(self):
+        assert hits("def f(xs=()):\n    pass\n", "mutable-default") == []
+
+    def test_suppressed(self):
+        src = "def f(xs=[]):  # cachelint: disable=mutable-default\n    pass\n"
+        assert hits(src, "mutable-default") == []
+
+
+class TestEngineBehaviour:
+    def test_syntax_error_reported_not_raised(self):
+        analyzer = Analyzer()
+        violations = analyzer.analyze_source("def broken(:\n", path=SIM_PATH)
+        assert [v.rule_id for v in violations] == ["parse-error"]
+
+    def test_disable_all_suppresses_everything(self):
+        src = "import random  # cachelint: disable=all\n"
+        assert hits(src, "no-nondeterminism") == []
+
+    def test_unknown_rule_id_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            make_rules(["no-such-rule"])
+
+    def test_multiple_rules_one_pass(self):
+        src = "import random\ndef f(xs=[]):\n    ok = xs == 0.5\n"
+        analyzer = Analyzer()
+        found = {v.rule_id for v in analyzer.analyze_source(src, path=SIM_PATH)}
+        assert {"no-nondeterminism", "mutable-default", "float-equality"} <= found

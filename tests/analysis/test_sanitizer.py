@@ -1,0 +1,175 @@
+"""The runtime sanitizer: clean replays pass, corruption is caught."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sanitizer import (
+    SanitizerHarness,
+    disable_sanitizer,
+    enable_sanitizer,
+    sanitizer_enabled,
+)
+from repro.cachesim.simulator import CacheSimulator, simulate_log
+from repro.core.config import GenerationalConfig
+from repro.core.effects import Effect, Evicted, EvictionReason
+from repro.core.generational import GenerationalCacheManager
+from repro.core.unified import UnifiedCacheManager
+from repro.errors import ConfigError, InvariantViolation
+from repro.tracelog.records import TraceCreate, TracePin
+
+
+def make_manager(capacity: int = 3000) -> GenerationalCacheManager:
+    return GenerationalCacheManager(capacity, GenerationalConfig())
+
+
+class TestCleanRuns:
+    def test_small_log_replay_is_clean(self, small_log):
+        manager = make_manager()
+        harness = SanitizerHarness(manager, stride=1)
+        result = CacheSimulator(manager, sanitizer=harness).run(small_log)
+        assert result.stats.accesses > 0
+        assert harness.checks_run >= harness.events_seen  # final_check too
+        assert harness.summary()["stride"] == 1
+
+    def test_unified_manager_also_supported(self, small_log):
+        manager = UnifiedCacheManager(3000)
+        harness = SanitizerHarness(manager, stride=2)
+        simulate_log(small_log, manager, sanitizer=harness)
+        assert harness.checks_run > 0
+
+    def test_stride_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            SanitizerHarness(make_manager(), stride=0)
+
+
+class TestCorruptionDetection:
+    """Satellite: check_invariants is wired into the replay stride and
+    corrupted cache state is actually detected."""
+
+    def test_dual_residency_detected(self):
+        manager = make_manager()
+        manager.insert(1, 100, 0, time=0)
+        # Corrupt: clone the nursery resident into the persistent cache
+        # behind the manager's back.
+        manager.persistent.insert(1, 100, 0, time=0)
+        harness = SanitizerHarness(manager)
+        with pytest.raises(InvariantViolation) as excinfo:
+            harness.check_now()
+        assert excinfo.value.invariant == "dual-residency"
+        assert excinfo.value.trace_id == 1
+
+    def test_stale_byte_accounting_detected(self):
+        manager = make_manager()
+        manager.insert(1, 100, 0, time=0)
+        manager.nursery.arena._used += 7
+        harness = SanitizerHarness(manager)
+        with pytest.raises(InvariantViolation) as excinfo:
+            harness.check_now()
+        assert excinfo.value.invariant == "arena-extents"
+        assert excinfo.value.cache == "nursery"
+
+    def test_table_arena_disagreement_detected(self):
+        manager = make_manager()
+        manager.insert(1, 100, 0, time=0)
+        del manager.nursery._traces[1]
+        harness = SanitizerHarness(manager)
+        with pytest.raises(InvariantViolation) as excinfo:
+            harness.check_now()
+        assert excinfo.value.invariant == "cache-consistency"
+
+    def test_pinned_eviction_detected(self):
+        manager = make_manager()
+        manager.insert(1, 100, 0, time=0)
+        harness = SanitizerHarness(manager, stride=100)
+        harness.observe_event(TraceCreate(time=0, trace_id=1, size=100, module_id=0))
+        harness.observe_event(TracePin(time=1, trace_id=1))
+        bad_eviction: list[Effect] = [
+            Evicted(trace_id=1, size=100, cache="nursery",
+                    reason=EvictionReason.CAPACITY)
+        ]
+        with pytest.raises(InvariantViolation) as excinfo:
+            harness.observe_effects(bad_eviction)
+        assert excinfo.value.invariant == "pinned-eviction"
+        assert excinfo.value.time == 1
+
+    def test_unmap_eviction_of_pinned_trace_is_sanctioned(self):
+        manager = make_manager()
+        manager.insert(1, 100, 0, time=0)
+        harness = SanitizerHarness(manager, stride=100)
+        harness.observe_event(TracePin(time=1, trace_id=1))
+        harness.observe_effects(
+            [Evicted(trace_id=1, size=100, cache="nursery",
+                     reason=EvictionReason.UNMAP)]
+        )  # must not raise: the paper allows unmap to break pinning
+
+    def test_probation_count_regression_detected(self):
+        manager = make_manager()
+        manager.probation.insert(7, 50, 0, time=0)
+        manager.probation.get(7).access_count = 5
+        harness = SanitizerHarness(manager)
+        harness.check_now()
+        manager.probation.get(7).access_count = 3
+        with pytest.raises(InvariantViolation) as excinfo:
+            harness.check_now()
+        assert excinfo.value.invariant == "probation-monotone"
+
+    def test_violation_carries_event_context(self, small_log):
+        class CorruptingManager(GenerationalCacheManager):
+            """Duplicates every insertion into the persistent cache."""
+
+            def insert(self, trace_id, size, module_id, time):
+                effects = super().insert(trace_id, size, module_id, time)
+                if trace_id not in self.persistent:
+                    self.persistent.insert(trace_id, size, module_id, time)
+                return effects
+
+        manager = CorruptingManager(3000, GenerationalConfig())
+        with pytest.raises(InvariantViolation) as excinfo:
+            simulate_log(
+                small_log, manager,
+                sanitizer=SanitizerHarness(manager, stride=1),
+            )
+        violation = excinfo.value
+        assert violation.invariant == "dual-residency"
+        assert violation.time is not None
+        assert "event" in violation.context
+
+    def test_violation_is_assertion_error_compatible(self):
+        manager = make_manager()
+        manager.insert(1, 100, 0, time=0)
+        manager.persistent.insert(1, 100, 0, time=0)
+        with pytest.raises(AssertionError):
+            manager.check_invariants()
+
+
+class TestGlobalSwitch:
+    def test_enable_attaches_to_new_simulators(self, small_log):
+        try:
+            enable_sanitizer(stride=4)
+            assert sanitizer_enabled()
+            manager = make_manager()
+            simulator = CacheSimulator(manager)
+            assert simulator.sanitizer is not None
+            assert simulator.sanitizer.stride == 4
+            simulator.run(small_log)
+            assert simulator.sanitizer.checks_run > 0
+        finally:
+            disable_sanitizer()
+
+    def test_disabled_by_default(self):
+        assert not sanitizer_enabled()
+        assert CacheSimulator(make_manager()).sanitizer is None
+
+    def test_explicit_harness_wins_over_switch(self, small_log):
+        try:
+            enable_sanitizer(stride=4)
+            manager = make_manager()
+            mine = SanitizerHarness(manager, stride=2)
+            assert CacheSimulator(manager, sanitizer=mine).sanitizer is mine
+        finally:
+            disable_sanitizer()
+
+    def test_invalid_stride_rejected(self):
+        with pytest.raises(ConfigError):
+            enable_sanitizer(stride=0)
