@@ -21,6 +21,14 @@ NONDETERMINISTIC_MODULES = frozenset(
     {"random", "time", "datetime", "secrets", "uuid"}
 )
 
+#: Concurrency primitives confined to :mod:`repro.service`.  The
+#: simulator core is single-threaded by design — replay results must
+#: not depend on interleaving — so worker pools, locks and queues may
+#: only appear in the service layer.
+CONCURRENCY_MODULES = frozenset(
+    {"threading", "_thread", "multiprocessing", "concurrent", "queue", "asyncio"}
+)
+
 #: Byte-unit magic numbers that must be spelled via repro.units.
 _BYTE_LITERALS = {
     KB: "KB",
@@ -57,7 +65,13 @@ class NoNondeterminismRule(Rule):
         "hash(); route randomness through repro.rand"
     )
     severity = Severity.ERROR
-    exempt_paths = ("*repro/rand.py",)
+    # scheduler.py and client.py legitimately consume wall-clock time
+    # (timeouts, backoff, polling); they never touch simulated state.
+    exempt_paths = (
+        "*repro/rand.py",
+        "*repro/service/scheduler.py",
+        "*repro/service/client.py",
+    )
 
     def visit_Import(self, ctx: FileContext, node: ast.Import) -> None:
         for alias in node.names:
@@ -88,6 +102,43 @@ class NoNondeterminismRule(Rule):
                 node,
                 "builtin hash() is salted per-process (PYTHONHASHSEED); "
                 "use repro.rand.derive_seed for stable hashing",
+            )
+
+
+@register
+class NoRawConcurrencyRule(Rule):
+    """Concurrency primitives stay inside :mod:`repro.service`; a lock
+    or worker pool anywhere else makes replay results depend on
+    interleaving and breaks the determinism contract."""
+
+    rule_id = "no-raw-concurrency"
+    description = (
+        "threading/multiprocessing/queue/concurrent/asyncio imports are "
+        "confined to repro.service; the simulation core stays "
+        "single-threaded"
+    )
+    severity = Severity.ERROR
+    exempt_paths = ("*repro/service/*",)
+
+    def visit_Import(self, ctx: FileContext, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in CONCURRENCY_MODULES:
+                ctx.report(
+                    self,
+                    node,
+                    f"import of concurrency module {alias.name!r} outside "
+                    "repro.service; dispatch through the service layer",
+                )
+
+    def visit_ImportFrom(self, ctx: FileContext, node: ast.ImportFrom) -> None:
+        root = (node.module or "").split(".")[0]
+        if node.level == 0 and root in CONCURRENCY_MODULES:
+            ctx.report(
+                self,
+                node,
+                f"import from concurrency module {root!r} outside "
+                "repro.service; dispatch through the service layer",
             )
 
 

@@ -4,32 +4,56 @@ Examples::
 
     repro-gencache list                      # show the benchmark catalog
     repro-gencache run figure-9 --quick      # regenerate one figure
-    repro-gencache run all --scale 8         # everything, scaled down
-    repro-gencache sweep word                # Section 6.1 sweep
+    repro-gencache run all --quick --jobs 4  # same, over a worker pool
+    repro-gencache sweep word --jobs 8       # Section 6.1 sweep, parallel
     repro-gencache record gzip out.log       # synthesize + save a log
+
+    repro-gencache serve --port 8350         # start the simulation service
+    repro-gencache submit figure-9 --quick   # run a job over HTTP
+    repro-gencache status <job-id>           # poll one job
+    repro-gencache fetch <job-id>            # print a finished table
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis.sanitizer import DEFAULT_STRIDE, TOTALS, enable_sanitizer
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ServiceError
 from repro.experiments.base import render_table
 from repro.experiments.dataset import quick_subset
 from repro.experiments.runner import (
     ALL_EXPERIMENT_IDS,
     EXTENSION_EXPERIMENT_IDS,
+    experiment_specs,
     render_all,
     run_all,
 )
 from repro.experiments import sweep as sweep_module
+from repro.service.client import ServiceClient
+from repro.service.http import DEFAULT_HOST, DEFAULT_PORT, make_server
+from repro.service.scheduler import (
+    DEFAULT_RETRIES,
+    DEFAULT_TIMEOUT,
+    TERMINAL_STATES,
+    Scheduler,
+)
+from repro.service.store import ResultStore
+from repro.service.workers import result_from_dict
 from repro.tracelog.binary import write_binary_log
 from repro.tracelog.writer import write_log
 from repro.units import format_bytes
 from repro.workloads.catalog import all_profiles, get_profile
 from repro.workloads.synthesis import synthesize_log
+
+#: Fallback server URL for the client verbs (overridden by --server or
+#: the REPRO_SERVER environment variable).
+DEFAULT_SERVER = f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
+
+#: Default on-disk result store for ``serve``.
+DEFAULT_STORE = os.path.join("~", ".cache", "repro-gencache", "results")
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -44,18 +68,70 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Argument validation (structured ConfigError -> exit code 2)
+# ----------------------------------------------------------------------
+
+KNOWN_EXPERIMENT_IDS = ALL_EXPERIMENT_IDS + EXTENSION_EXPERIMENT_IDS
+
+
+def _validate_experiment_ids(ids: tuple[str, ...]) -> None:
+    unknown = [i for i in ids if i not in KNOWN_EXPERIMENT_IDS]
+    if unknown:
+        raise ConfigError(
+            f"unknown experiment(s) {unknown}; choose from "
+            f"{', '.join(KNOWN_EXPERIMENT_IDS)} or 'all'"
+        )
+
+
+def _validate_scale(args: argparse.Namespace, allow_zero: bool = False) -> None:
+    scale = getattr(args, "scale", 1.0)
+    if scale < 0 or (scale == 0 and not allow_zero):
+        raise ConfigError(
+            f"--scale must be a positive divisor, got {scale:g}"
+        )
+    if getattr(args, "quick", False) and 0 < scale < 1.0:
+        raise ConfigError(
+            f"conflicting flags: --quick exists to shrink a run, but "
+            f"--scale {scale:g} < 1 would inflate the workload; drop one"
+        )
+
+
+def _validate_dispatch(args: argparse.Namespace) -> None:
+    jobs = getattr(args, "jobs", 1)
+    if jobs < 1:
+        raise ConfigError(f"--jobs must be >= 1, got {jobs}")
+    if getattr(args, "server", None) and jobs > 1:
+        raise ConfigError(
+            "conflicting flags: --server delegates scheduling to the "
+            "remote service; --jobs only applies to local pools"
+        )
+
+
+# ----------------------------------------------------------------------
+# Sanitizer plumbing
+# ----------------------------------------------------------------------
+
+
 def _apply_sanitize(args: argparse.Namespace) -> None:
     """Turn on the process-wide replay sanitizer when requested."""
     if getattr(args, "sanitize", False):
-        try:
-            enable_sanitizer(stride=args.sanitize_stride)
-        except ConfigError as exc:
-            print(f"repro-gencache: {exc}", file=sys.stderr)
-            raise SystemExit(2) from exc
+        enable_sanitizer(stride=args.sanitize_stride)
 
 
-def _print_sanitize_summary(args: argparse.Namespace) -> None:
-    if getattr(args, "sanitize", False):
+def _print_sanitize_summary(
+    args: argparse.Namespace, worker_jobs: int = 0
+) -> None:
+    if not getattr(args, "sanitize", False):
+        return
+    if worker_jobs:
+        # The checks ran inside worker processes (a violation would
+        # have failed the job), so the local TOTALS stay zero.
+        print(
+            f"sanitizer: invariant sweeps ran inside {worker_jobs} "
+            "worker job(s); no violations"
+        )
+    else:
         print(
             f"sanitizer: {TOTALS.checks} invariant sweep(s) over "
             f"{TOTALS.events} event(s) across {TOTALS.simulations} "
@@ -63,36 +139,79 @@ def _print_sanitize_summary(args: argparse.Namespace) -> None:
         )
 
 
+# ----------------------------------------------------------------------
+# One-shot commands
+# ----------------------------------------------------------------------
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    known = ALL_EXPERIMENT_IDS + EXTENSION_EXPERIMENT_IDS
     ids = ALL_EXPERIMENT_IDS if args.experiment == "all" else (args.experiment,)
-    unknown = [i for i in ids if i not in known]
-    if unknown:
-        print(
-            f"unknown experiment(s) {unknown}; choose from "
-            f"{', '.join(known)} or 'all'",
-            file=sys.stderr,
-        )
-        return 2
+    _validate_experiment_ids(ids)
+    _validate_scale(args)
+    _validate_dispatch(args)
     subset = quick_subset() if args.quick else None
+    if args.server:
+        return _run_via_server(args, ids, subset)
     _apply_sanitize(args)
+    store = ResultStore(os.path.expanduser(args.store)) if args.store else None
     results = run_all(
         seed=args.seed,
         scale_multiplier=args.scale,
         subset=subset,
         experiment_ids=tuple(ids),
+        jobs=args.jobs,
+        store=store,
+        sanitize=args.sanitize,
+        sanitize_stride=args.sanitize_stride,
     )
     print(render_all(results))
-    _print_sanitize_summary(args)
+    _print_sanitize_summary(args, worker_jobs=len(ids) if args.jobs > 1 else 0)
+    return 0
+
+
+def _run_via_server(
+    args: argparse.Namespace, ids: tuple[str, ...], subset: list[str] | None
+) -> int:
+    client = ServiceClient(args.server)
+    specs = experiment_specs(
+        tuple(ids),
+        seed=args.seed,
+        scale_multiplier=args.scale,
+        subset=subset,
+        sanitize=args.sanitize,
+        sanitize_stride=args.sanitize_stride,
+    )
+    statuses = [client.submit(spec) for spec in specs]
+    results = []
+    cached = 0
+    for status in statuses:
+        if status.get("state") not in TERMINAL_STATES:
+            status = client.wait(status["job_id"], timeout=args.timeout)
+        if status.get("state") != "done":
+            raise ServiceError(
+                f"job {status.get('job_id')} failed: {status.get('error')}"
+            )
+        cached += bool(status.get("cached"))
+        payload = client.result(status["job_id"])
+        results.append(result_from_dict(payload["result"]))
+    print(render_all(results))
+    if cached:
+        print(f"{cached}/{len(statuses)} job(s) served from the result store")
+    _print_sanitize_summary(args, worker_jobs=len(ids))
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    _validate_scale(args)
+    _validate_dispatch(args)
     _apply_sanitize(args)
+    store = ResultStore(os.path.expanduser(args.store)) if args.store else None
     result = sweep_module.run(
         benchmark=args.benchmark,
         seed=args.seed,
         scale_multiplier=args.scale,
+        jobs=args.jobs,
+        store=store,
     )
     print(render_table(result))
     print()
@@ -100,6 +219,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         benchmark=args.benchmark,
         seed=args.seed,
         scale_multiplier=args.scale,
+        jobs=args.jobs,
+        store=store,
     )
     print(render_table(link))
     _print_sanitize_summary(args)
@@ -107,6 +228,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_record(args: argparse.Namespace) -> int:
+    _validate_scale(args, allow_zero=True)
     profile = get_profile(args.benchmark)
     log = synthesize_log(profile, seed=args.seed, scale=args.scale or None)
     if args.binary:
@@ -121,6 +243,98 @@ def _cmd_record(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Service commands
+# ----------------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    store = None
+    if args.store:
+        store = ResultStore(os.path.expanduser(args.store))
+    scheduler = Scheduler(
+        workers=args.jobs,
+        store=store,
+        timeout=args.timeout,
+        max_retries=args.retries,
+    )
+    server = make_server(scheduler, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    with scheduler:
+        print(
+            f"repro-gencache service listening on http://{host}:{port} "
+            f"({args.jobs} worker(s)"
+            + (f", store {args.store})" if args.store else ", no store)"),
+            flush=True,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
+        finally:
+            server.server_close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    if args.experiment == "all":
+        raise ConfigError(
+            "submit takes a single experiment id; use "
+            "'run all --server URL' for the full set"
+        )
+    _validate_experiment_ids((args.experiment,))
+    _validate_scale(args)
+    subset = quick_subset() if args.quick else None
+    spec = experiment_specs(
+        (args.experiment,),
+        seed=args.seed,
+        scale_multiplier=args.scale,
+        subset=subset,
+        sanitize=args.sanitize,
+        sanitize_stride=args.sanitize_stride,
+    )[0]
+    client = ServiceClient(args.server)
+    status = client.submit(spec)
+    source = " (served from result store)" if status.get("cached") else ""
+    print(f"job {status['job_id']}: {status['state']}{source}")
+    if args.no_wait:
+        return 0
+    if status.get("state") not in TERMINAL_STATES:
+        status = client.wait(status["job_id"], timeout=args.timeout)
+    if status.get("state") != "done":
+        raise ServiceError(
+            f"job {status['job_id']} failed: {status.get('error')}"
+        )
+    payload = client.result(status["job_id"])
+    print(render_table(result_from_dict(payload["result"])))
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    status = ServiceClient(args.server).status(args.job_id)
+    for key in ("job_id", "kind", "state", "cached", "attempts",
+                "runtime_seconds", "error"):
+        if status.get(key) is not None:
+            print(f"{key}: {status[key]}")
+    return 0 if status.get("state") != "failed" else 1
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    import json
+
+    payload = ServiceClient(args.server).result(args.job_id)
+    if payload.get("kind") == "experiment":
+        print(render_table(result_from_dict(payload["result"])))
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
 def _add_sanitize_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--sanitize", action="store_true",
@@ -130,6 +344,15 @@ def _add_sanitize_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--sanitize-stride", type=int, default=DEFAULT_STRIDE, metavar="N",
         help=f"events between invariant sweeps (default: {DEFAULT_STRIDE})",
+    )
+
+
+def _add_server_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--server", default=os.environ.get("REPRO_SERVER", DEFAULT_SERVER),
+        metavar="URL",
+        help="service base URL (default: $REPRO_SERVER or "
+        f"{DEFAULT_SERVER})",
     )
 
 
@@ -157,12 +380,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="use the 8-benchmark representative subset",
     )
+    run_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan experiments out over N local worker processes",
+    )
+    run_parser.add_argument(
+        "--server", default=None, metavar="URL",
+        help="dispatch through a running repro-gencache service instead",
+    )
+    run_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="memoize job results in DIR (with --jobs)",
+    )
+    run_parser.add_argument(
+        "--timeout", type=float, default=1800.0, metavar="SECS",
+        help="how long to wait for remote jobs (with --server)",
+    )
     _add_sanitize_flags(run_parser)
 
     sweep_parser = sub.add_parser("sweep", help="Section 6.1 config sweep")
     sweep_parser.add_argument("benchmark", nargs="?", default="word")
     sweep_parser.add_argument("--seed", type=int, default=42)
     sweep_parser.add_argument("--scale", type=float, default=1.0)
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan sweep grid cells out over N local worker processes",
+    )
+    sweep_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="memoize sweep-point results in DIR (with --jobs)",
+    )
     _add_sanitize_flags(sweep_parser)
 
     record_parser = sub.add_parser("record", help="synthesize and save a log")
@@ -175,19 +422,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the compact varint binary format instead of text",
     )
 
+    serve_parser = sub.add_parser(
+        "serve", help="start the HTTP simulation service"
+    )
+    serve_parser.add_argument("--host", default=DEFAULT_HOST)
+    serve_parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    serve_parser.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="worker process count (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--store", default=DEFAULT_STORE, metavar="DIR",
+        help=f"result store directory (default: {DEFAULT_STORE}; "
+        "pass '' to disable memoization)",
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=DEFAULT_TIMEOUT, metavar="SECS",
+        help="per-job wall-clock limit",
+    )
+    serve_parser.add_argument(
+        "--retries", type=int, default=DEFAULT_RETRIES, metavar="N",
+        help="extra attempts after a worker crash or timeout",
+    )
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit one experiment job over HTTP"
+    )
+    submit_parser.add_argument("experiment", help="experiment id")
+    submit_parser.add_argument("--seed", type=int, default=42)
+    submit_parser.add_argument("--scale", type=float, default=1.0)
+    submit_parser.add_argument(
+        "--quick", action="store_true",
+        help="use the 8-benchmark representative subset",
+    )
+    submit_parser.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and return immediately",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=1800.0, metavar="SECS",
+        help="how long to wait for completion",
+    )
+    _add_server_flag(submit_parser)
+    _add_sanitize_flags(submit_parser)
+
+    status_parser = sub.add_parser("status", help="show one job's state")
+    status_parser.add_argument("job_id")
+    _add_server_flag(status_parser)
+
+    fetch_parser = sub.add_parser("fetch", help="print one finished result")
+    fetch_parser.add_argument("job_id")
+    _add_server_flag(fetch_parser)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Exit codes: 0 success, 1 service/runtime failure, 2 configuration
+    error (bad flags, unknown ids, conflicting combinations).
+    """
     args = build_parser().parse_args(argv)
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "record": _cmd_record,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "fetch": _cmd_fetch,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ConfigError as exc:
+        print(f"repro-gencache: error: {exc}", file=sys.stderr)
+        return 2
+    except ServiceError as exc:
+        print(f"repro-gencache: service error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

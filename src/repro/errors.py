@@ -66,6 +66,18 @@ class ExperimentError(ReproError):
     """An experiment harness failed to produce its result table."""
 
 
+class ServiceError(ReproError):
+    """The simulation service failed to schedule or serve a job."""
+
+
+class JobQueueFullError(ServiceError):
+    """The scheduler's bounded admission queue rejected a submission."""
+
+
+class JobNotFoundError(ServiceError):
+    """A job id was requested that the scheduler has never seen."""
+
+
 class InvariantViolation(ReproError, AssertionError):
     """A simulation invariant did not hold.
 

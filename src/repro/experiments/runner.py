@@ -68,8 +68,31 @@ def run_all(
     subset: list[str] | None = None,
     experiment_ids: tuple[str, ...] = ALL_EXPERIMENT_IDS,
     sweep_benchmark: str = "word",
+    jobs: int = 1,
+    store=None,
+    sanitize: bool = False,
+    sanitize_stride: int | None = None,
 ) -> list[ExperimentResult]:
-    """Run the requested experiments, sharing work where possible."""
+    """Run the requested experiments, sharing work where possible.
+
+    With ``jobs > 1`` each experiment id is dispatched as one
+    content-addressed job to a :class:`repro.service.scheduler.Scheduler`
+    worker pool (optionally memoized through *store*); each worker
+    executes the identical serial code path, so the assembled tables
+    are byte-identical to a serial run.
+    """
+    if jobs > 1:
+        return _run_all_parallel(
+            seed=seed,
+            scale_multiplier=scale_multiplier,
+            subset=subset,
+            experiment_ids=experiment_ids,
+            sweep_benchmark=sweep_benchmark,
+            jobs=jobs,
+            store=store,
+            sanitize=sanitize,
+            sanitize_stride=sanitize_stride,
+        )
     dataset = WorkloadDataset(
         seed=seed, scale_multiplier=scale_multiplier, subset=subset
     )
@@ -133,6 +156,69 @@ def run_all(
         else:
             raise KeyError(f"unknown experiment id {experiment_id!r}")
     return results
+
+
+def experiment_specs(
+    experiment_ids: tuple[str, ...],
+    seed: int = 42,
+    scale_multiplier: float = 1.0,
+    subset: list[str] | None = None,
+    sweep_benchmark: str = "word",
+    sanitize: bool = False,
+    sanitize_stride: int | None = None,
+):
+    """One ``experiment`` :class:`repro.service.jobs.JobSpec` per id,
+    in order — the unit both ``--jobs N`` and ``--server URL`` submit."""
+    # Imported lazily: repro.service depends on this module's serial
+    # path, so a module-level import would cycle.
+    from repro.service.jobs import JobSpec
+
+    extra: dict[str, object] = {"sanitize": sanitize}
+    if sanitize_stride is not None:
+        extra["sanitize_stride"] = sanitize_stride
+    return [
+        JobSpec(
+            kind="experiment",
+            experiment_id=experiment_id,
+            seed=seed,
+            scale_multiplier=scale_multiplier,
+            subset=tuple(subset) if subset else None,
+            sweep_benchmark=sweep_benchmark,
+            **extra,
+        )
+        for experiment_id in experiment_ids
+    ]
+
+
+def _run_all_parallel(
+    seed: int,
+    scale_multiplier: float,
+    subset: list[str] | None,
+    experiment_ids: tuple[str, ...],
+    sweep_benchmark: str,
+    jobs: int,
+    store,
+    sanitize: bool,
+    sanitize_stride: int | None,
+) -> list[ExperimentResult]:
+    from repro.service.scheduler import run_jobs
+    from repro.service.workers import result_from_dict
+
+    known = set(ALL_EXPERIMENT_IDS) | set(EXTENSION_EXPERIMENT_IDS)
+    for experiment_id in experiment_ids:
+        if experiment_id not in known:
+            raise KeyError(f"unknown experiment id {experiment_id!r}")
+    specs = experiment_specs(
+        experiment_ids,
+        seed=seed,
+        scale_multiplier=scale_multiplier,
+        subset=subset,
+        sweep_benchmark=sweep_benchmark,
+        sanitize=sanitize,
+        sanitize_stride=sanitize_stride,
+    )
+    payloads = run_jobs(specs, workers=jobs, store=store)
+    return [result_from_dict(payload["result"]) for payload in payloads]
 
 
 def render_all(results: list[ExperimentResult]) -> str:

@@ -1,0 +1,129 @@
+"""HTTP client for the simulation service (stdlib urllib only).
+
+Mirrors the server's five endpoints and adds :meth:`ServiceClient.wait`
+(poll until a job reaches a terminal state) — what the CLI ``submit``,
+``status`` and ``fetch`` verbs and the ``run --server URL`` path use.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import ServiceError
+from repro.service.jobs import JobSpec
+from repro.service.scheduler import TERMINAL_STATES
+
+
+class ServiceClient:
+    """Talk to one ``repro-gencache serve`` instance.
+
+    Args:
+        base_url: e.g. ``"http://127.0.0.1:8350"``.
+        timeout: Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Endpoint wrappers
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: JobSpec | dict) -> dict:
+        """POST a job; returns its status dict (instant on cache hit)."""
+        body = spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
+        return self._request("POST", "/jobs", body)
+
+    def status(self, job_id: str) -> dict:
+        """GET one job's status dict."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """GET one completed job's payload."""
+        return self._request("GET", f"/results/{job_id}")
+
+    def healthz(self) -> dict:
+        """GET the health summary."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        """GET the scheduler metrics."""
+        return self._request("GET", "/metrics")
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 1800.0,
+        poll: float = 0.25,
+    ) -> dict:
+        """Poll until *job_id* is done/failed; returns its final status.
+
+        Raises:
+            ServiceError: if the deadline passes first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status.get("state") in TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:g}s waiting for job {job_id}"
+                )
+            time.sleep(poll)
+
+    def submit_and_wait(
+        self, spec: JobSpec | dict, timeout: float = 1800.0
+    ) -> tuple[dict, dict]:
+        """Submit, wait, and fetch: returns ``(status, payload)``.
+
+        Raises:
+            ServiceError: on job failure or wait timeout.
+        """
+        status = self.submit(spec)
+        if status.get("state") not in TERMINAL_STATES:
+            status = self.wait(status["job_id"], timeout=timeout)
+        if status.get("state") != "done":
+            raise ServiceError(
+                f"job {status.get('job_id')} failed: {status.get('error')}"
+            )
+        return status, self.result(status["job_id"])
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except (ValueError, OSError):
+                detail = exc.reason or ""
+            raise ServiceError(
+                f"{method} {path} failed: HTTP {exc.code}"
+                + (f" ({detail})" if detail else "")
+            ) from exc
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            raise ServiceError(
+                f"{method} {path} failed: cannot reach {self.base_url}: {exc}"
+            ) from exc

@@ -19,7 +19,12 @@ from repro.tracelog.records import (
 )
 from repro.tracelog.reader import read_log, parse_lines
 from repro.tracelog.writer import write_log, format_record
-from repro.tracelog.binary import read_binary_log, write_binary_log
+from repro.tracelog.binary import (
+    dump_binary,
+    load_binary,
+    read_binary_log,
+    write_binary_log,
+)
 from repro.tracelog.stats import LogStatistics, summarize_log
 
 __all__ = [
@@ -32,7 +37,9 @@ __all__ = [
     "TraceLog",
     "TracePin",
     "TraceUnpin",
+    "dump_binary",
     "format_record",
+    "load_binary",
     "parse_lines",
     "read_binary_log",
     "read_log",

@@ -19,6 +19,12 @@ so deltas are small).  Layout::
        tag 4 pin:     varint trace_id
        tag 5 unpin:   varint trace_id
        tag 6 end:     (no payload)
+
+File I/O is *chunk-buffered*: :func:`dump_binary` flushes the encode
+buffer to the stream every ~64 KiB instead of materializing the whole
+log (or issuing one tiny write per record), and :func:`load_binary`
+refills its decode window in 64 KiB reads.  The byte stream is
+identical to :func:`dumps_binary`'s in-memory output.
 """
 
 from __future__ import annotations
@@ -38,8 +44,14 @@ from repro.tracelog.records import (
     TracePin,
     TraceUnpin,
 )
+from repro.units import KB
 
 MAGIC = b"RTL2"
+
+#: Encode/decode buffer target, in bytes.  Large enough to amortize
+#: stream-write syscalls, small enough to keep peak memory flat even
+#: for the interactive-application logs.
+CHUNK_BYTES = 64 * KB
 
 _TAG_CREATE = 1
 _TAG_ACCESS = 2
@@ -62,8 +74,97 @@ def _write_varint(out: bytearray, value: int) -> None:
             return
 
 
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+
+
+def _encode_header(log: TraceLog) -> bytearray:
+    out = bytearray()
+    out += MAGIC
+    name = log.benchmark.encode("utf-8")
+    _write_varint(out, len(name))
+    out += name
+    out += struct.pack("<d", log.duration_seconds)
+    _write_varint(out, log.code_footprint)
+    _write_varint(out, len(log.records))
+    return out
+
+
+def _encode_record(out: bytearray, record: LogRecord, delta: int) -> None:
+    if isinstance(record, TraceCreate):
+        _write_varint(out, _TAG_CREATE)
+        _write_varint(out, delta)
+        _write_varint(out, record.trace_id)
+        _write_varint(out, record.size)
+        _write_varint(out, record.module_id)
+    elif isinstance(record, TraceAccess):
+        _write_varint(out, _TAG_ACCESS)
+        _write_varint(out, delta)
+        _write_varint(out, record.trace_id)
+        _write_varint(out, record.repeat)
+    elif isinstance(record, ModuleUnmap):
+        _write_varint(out, _TAG_UNMAP)
+        _write_varint(out, delta)
+        _write_varint(out, record.module_id)
+    elif isinstance(record, TracePin):
+        _write_varint(out, _TAG_PIN)
+        _write_varint(out, delta)
+        _write_varint(out, record.trace_id)
+    elif isinstance(record, TraceUnpin):
+        _write_varint(out, _TAG_UNPIN)
+        _write_varint(out, delta)
+        _write_varint(out, record.trace_id)
+    elif isinstance(record, EndOfLog):
+        _write_varint(out, _TAG_END)
+        _write_varint(out, delta)
+    else:
+        raise LogFormatError(f"unknown record type: {type(record).__name__}")
+
+
+def dump_binary(
+    log: TraceLog, stream, chunk_size: int = CHUNK_BYTES
+) -> int:
+    """Stream *log* to a writable binary *stream* in buffered chunks.
+
+    Returns the number of bytes written.  The output is byte-identical
+    to :func:`dumps_binary`.
+    """
+    if chunk_size < 1:
+        raise LogFormatError(f"chunk_size must be >= 1, got {chunk_size}")
+    out = _encode_header(log)
+    written = 0
+    previous_time = 0
+    for record in log.records:
+        delta = record.time - previous_time
+        if delta < 0:
+            raise LogFormatError("binary format requires time-sorted records")
+        previous_time = record.time
+        _encode_record(out, record, delta)
+        if len(out) >= chunk_size:
+            stream.write(out)
+            written += len(out)
+            out = bytearray()
+    if out:
+        stream.write(out)
+        written += len(out)
+    return written
+
+
+def dumps_binary(log: TraceLog) -> bytes:
+    """Serialize *log* to compact bytes."""
+    buffer = io.BytesIO()
+    dump_binary(log, buffer)
+    return buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+
+
 class _Reader:
-    """Byte cursor with varint decoding."""
+    """Byte cursor with varint decoding over an in-memory buffer."""
 
     def __init__(self, data: bytes) -> None:
         self.data = data
@@ -92,56 +193,58 @@ class _Reader:
                 raise LogFormatError("varint too long in binary log")
 
 
-def dumps_binary(log: TraceLog) -> bytes:
-    """Serialize *log* to compact bytes."""
-    out = bytearray()
-    out += MAGIC
-    name = log.benchmark.encode("utf-8")
-    _write_varint(out, len(name))
-    out += name
-    out += struct.pack("<d", log.duration_seconds)
-    _write_varint(out, log.code_footprint)
-    _write_varint(out, len(log.records))
-    previous_time = 0
-    for record in log.records:
-        delta = record.time - previous_time
-        if delta < 0:
-            raise LogFormatError("binary format requires time-sorted records")
-        previous_time = record.time
-        if isinstance(record, TraceCreate):
-            _write_varint(out, _TAG_CREATE)
-            _write_varint(out, delta)
-            _write_varint(out, record.trace_id)
-            _write_varint(out, record.size)
-            _write_varint(out, record.module_id)
-        elif isinstance(record, TraceAccess):
-            _write_varint(out, _TAG_ACCESS)
-            _write_varint(out, delta)
-            _write_varint(out, record.trace_id)
-            _write_varint(out, record.repeat)
-        elif isinstance(record, ModuleUnmap):
-            _write_varint(out, _TAG_UNMAP)
-            _write_varint(out, delta)
-            _write_varint(out, record.module_id)
-        elif isinstance(record, TracePin):
-            _write_varint(out, _TAG_PIN)
-            _write_varint(out, delta)
-            _write_varint(out, record.trace_id)
-        elif isinstance(record, TraceUnpin):
-            _write_varint(out, _TAG_UNPIN)
-            _write_varint(out, delta)
-            _write_varint(out, record.trace_id)
-        elif isinstance(record, EndOfLog):
-            _write_varint(out, _TAG_END)
-            _write_varint(out, delta)
-        else:
-            raise LogFormatError(f"unknown record type: {type(record).__name__}")
-    return bytes(out)
+class _StreamReader:
+    """Same cursor interface, refilled from a stream in buffered chunks."""
+
+    def __init__(self, stream, chunk_size: int = CHUNK_BYTES) -> None:
+        if chunk_size < 1:
+            raise LogFormatError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.stream = stream
+        self.chunk_size = chunk_size
+        self.buffer = b""
+        self.pos = 0
+        self.eof = False
+
+    def _refill(self, need: int) -> None:
+        """Ensure at least *need* unread bytes are buffered (or EOF)."""
+        if self.pos:
+            self.buffer = self.buffer[self.pos :]
+            self.pos = 0
+        while not self.eof and len(self.buffer) < need:
+            chunk = self.stream.read(max(self.chunk_size, need - len(self.buffer)))
+            if not chunk:
+                self.eof = True
+                break
+            self.buffer += chunk
+
+    def bytes(self, n: int) -> bytes:
+        if self.pos + n > len(self.buffer):
+            self._refill(n)
+            if n > len(self.buffer):
+                raise LogFormatError("truncated binary log")
+        chunk = self.buffer[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def varint(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            if self.pos >= len(self.buffer):
+                self._refill(1)
+                if not self.buffer:
+                    raise LogFormatError("truncated varint in binary log")
+            byte = self.buffer[self.pos]
+            self.pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+            if shift > 63:
+                raise LogFormatError("varint too long in binary log")
 
 
-def loads_binary(data: bytes, validate: bool = True) -> TraceLog:
-    """Parse a binary log from bytes."""
-    reader = _Reader(data)
+def _parse(reader, validate: bool) -> TraceLog:
     if reader.bytes(4) != MAGIC:
         raise LogFormatError("bad binary-log magic")
     name = reader.bytes(reader.varint()).decode("utf-8")
@@ -187,11 +290,30 @@ def loads_binary(data: bytes, validate: bool = True) -> TraceLog:
     return log
 
 
+def loads_binary(data: bytes, validate: bool = True) -> TraceLog:
+    """Parse a binary log from bytes."""
+    return _parse(_Reader(data), validate)
+
+
+def load_binary(
+    stream, validate: bool = True, chunk_size: int = CHUNK_BYTES
+) -> TraceLog:
+    """Parse a binary log from a readable *stream* in buffered chunks."""
+    return _parse(_StreamReader(stream, chunk_size=chunk_size), validate)
+
+
+# ----------------------------------------------------------------------
+# File convenience wrappers
+# ----------------------------------------------------------------------
+
+
 def write_binary_log(log: TraceLog, path: str | Path) -> None:
-    """Write *log* to a binary file."""
-    Path(path).write_bytes(dumps_binary(log))
+    """Write *log* to a binary file (chunk-buffered)."""
+    with open(path, "wb") as stream:
+        dump_binary(log, stream)
 
 
 def read_binary_log(path: str | Path, validate: bool = True) -> TraceLog:
-    """Read a binary log file."""
-    return loads_binary(Path(path).read_bytes(), validate=validate)
+    """Read a binary log file (chunk-buffered)."""
+    with open(path, "rb") as stream:
+        return load_binary(stream, validate=validate)

@@ -268,3 +268,41 @@ class TestEngineBehaviour:
         analyzer = Analyzer()
         found = {v.rule_id for v in analyzer.analyze_source(src, path=SIM_PATH)}
         assert {"no-nondeterminism", "mutable-default", "float-equality"} <= found
+
+
+class TestNoRawConcurrency:
+    def test_threading_flagged(self):
+        assert hits("import threading\n", "no-raw-concurrency") == [
+            "no-raw-concurrency"
+        ]
+
+    def test_multiprocessing_flagged(self):
+        assert hits("import multiprocessing\n", "no-raw-concurrency") == [
+            "no-raw-concurrency"
+        ]
+
+    def test_from_concurrent_flagged(self):
+        src = "from concurrent.futures import ThreadPoolExecutor\n"
+        assert hits(src, "no-raw-concurrency") == ["no-raw-concurrency"]
+
+    def test_queue_flagged(self):
+        assert hits("import queue\n", "no-raw-concurrency") == [
+            "no-raw-concurrency"
+        ]
+
+    def test_service_package_is_exempt(self):
+        assert (
+            hits(
+                "import multiprocessing\nimport threading\n",
+                "no-raw-concurrency",
+                path="src/repro/service/scheduler.py",
+            )
+            == []
+        )
+
+    def test_plain_imports_are_fine(self):
+        assert hits("import json\nimport hashlib\n", "no-raw-concurrency") == []
+
+    def test_suppressed(self):
+        src = "import threading  # cachelint: disable=no-raw-concurrency\n"
+        assert hits(src, "no-raw-concurrency") == []

@@ -71,3 +71,77 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "SECTION-6.1-SWEEP" in out
         assert "BestThreshold" in out
+
+
+class TestValidation:
+    """Structured ConfigError handling: bad flag combinations exit 2
+    with a one-line message instead of a traceback."""
+
+    def _error(self, capsys) -> str:
+        return capsys.readouterr().err
+
+    def test_negative_scale_rejected(self, capsys):
+        assert main(["run", "figure-2", "--scale", "-4"]) == 2
+        assert "repro-gencache: error:" in self._error(capsys)
+
+    def test_zero_scale_rejected(self, capsys):
+        assert main(["run", "figure-2", "--scale", "0"]) == 2
+        assert "--scale" in self._error(capsys)
+
+    def test_quick_with_inflating_scale_rejected(self, capsys):
+        assert main(["run", "figure-2", "--quick", "--scale", "0.5"]) == 2
+        assert "conflicting" in self._error(capsys)
+
+    def test_quick_with_shrinking_scale_is_fine(self, capsys):
+        # --quick --scale 8 shrinks further; that combination is the
+        # documented fast path and must keep working.
+        assert main(["run", "figure-2", "--quick", "--scale", "16"]) == 0
+
+    def test_jobs_with_server_conflict(self, capsys):
+        assert (
+            main(
+                ["run", "figure-2", "--jobs", "2", "--server", "http://x"]
+            )
+            == 2
+        )
+        assert "conflicting" in self._error(capsys)
+
+    def test_zero_jobs_rejected(self, capsys):
+        assert main(["run", "figure-2", "--jobs", "0"]) == 2
+
+    def test_unknown_experiment_message(self, capsys):
+        assert main(["run", "figure-99"]) == 2
+        assert "figure-99" in self._error(capsys)
+
+    def test_submit_all_rejected(self, capsys):
+        assert main(["submit", "all", "--no-wait"]) == 2
+        assert "single experiment" in self._error(capsys)
+
+    def test_sweep_negative_scale_rejected(self, capsys):
+        assert main(["sweep", "art", "--scale", "-1"]) == 2
+
+    def test_unreachable_server_is_service_error(self, capsys):
+        assert main(["status", "j0", "--server", "http://127.0.0.1:9"]) == 1
+        assert "service error" in self._error(capsys)
+
+
+class TestParallelDispatch:
+    def test_run_with_jobs(self, capsys):
+        assert (
+            main(["run", "figure-1", "--quick", "--scale", "32", "--jobs", "2"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "FIGURE-1" in out
+
+    def test_run_with_jobs_and_store(self, tmp_path, capsys):
+        store = str(tmp_path / "results")
+        argv = [
+            "run", "figure-1", "--quick", "--scale", "32",
+            "--jobs", "2", "--store", store,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,142 @@
+"""Content-addressed job spec tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PromotionMode
+from repro.errors import ConfigError
+from repro.service.jobs import JobSpec, job_id, spec_from_dict
+
+
+class TestJobId:
+    def test_stable_across_sessions(self):
+        # Pinned reference addresses: if either changes, JOB_FORMAT
+        # must be bumped or every existing store blob goes stale.
+        assert job_id(JobSpec(kind="experiment", experiment_id="figure-9")) == (
+            "j90201737a98d6636c302de8cb84a364"
+        )
+        assert job_id(
+            JobSpec(kind="sweep-point", benchmark="word", manager="unified")
+        ) == "j22bacbe52fe08c780bff86d1b9aac43"
+
+    def test_equal_specs_equal_ids(self):
+        a = JobSpec(kind="experiment", experiment_id="figure-1", seed=7)
+        b = JobSpec(kind="experiment", experiment_id="figure-1", seed=7)
+        assert a is not b
+        assert job_id(a) == job_id(b)
+
+    def test_every_field_change_changes_id(self):
+        base = JobSpec(
+            kind="sweep-point",
+            benchmark="word",
+            manager="generational",
+            nursery=0.34,
+            probation=0.33,
+            persistent=0.33,
+            threshold=5,
+        )
+        # Round-trip the dict form with a field tweaked at a time (the
+        # layout tweak moves two fields so fractions still sum to 1);
+        # every tweak must move the address.
+        seen = {job_id(base)}
+        for update in [
+            {"seed": 43},
+            {"scale_multiplier": 2.0},
+            {"benchmark": "gzip"},
+            {"threshold": 10},
+            {"nursery": 0.25, "persistent": 0.42},
+            {"sanitize": True},
+            {"sanitize_stride": 64},
+        ]:
+            data = base.to_dict()
+            data.update(update)
+            jid = job_id(spec_from_dict(data))
+            assert jid not in seen, f"{update} did not change the id"
+            seen.add(jid)
+
+    def test_id_shape(self):
+        jid = job_id(JobSpec(kind="experiment", experiment_id="sweep"))
+        assert jid.startswith("j")
+        assert len(jid) == 32
+        assert all(c in "0123456789abcdef" for c in jid[1:])
+
+
+class TestSpecRoundTrip:
+    def test_round_trip(self):
+        spec = JobSpec(
+            kind="experiment",
+            experiment_id="figure-9",
+            subset=("gzip", "word"),
+            sanitize=True,
+        )
+        rebuilt = spec_from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert job_id(rebuilt) == job_id(spec)
+
+    def test_unknown_field_rejected(self):
+        data = JobSpec(kind="experiment", experiment_id="figure-1").to_dict()
+        data["bogus"] = 1
+        with pytest.raises(ConfigError, match="bogus"):
+            spec_from_dict(data)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ConfigError):
+            spec_from_dict(["not", "a", "spec"])
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError, match="kind"):
+            JobSpec(kind="mystery").validate()
+
+    def test_experiment_needs_id(self):
+        with pytest.raises(ConfigError, match="experiment_id"):
+            JobSpec(kind="experiment", experiment_id=None).validate()
+
+    def test_sweep_point_needs_benchmark(self):
+        with pytest.raises(ConfigError, match="benchmark"):
+            JobSpec(kind="sweep-point", benchmark=None).validate()
+
+    def test_generational_needs_layout(self):
+        with pytest.raises(ConfigError, match="layout"):
+            JobSpec(kind="sweep-point", benchmark="word").validate()
+
+    def test_replay_needs_exactly_one_source(self):
+        with pytest.raises(ConfigError, match="log_path or log_inline"):
+            JobSpec(kind="replay", manager="unified").validate()
+        with pytest.raises(ConfigError, match="log_path or log_inline"):
+            JobSpec(
+                kind="replay", manager="unified", log_path="a", log_inline="b"
+            ).validate()
+
+    def test_bad_scale(self):
+        with pytest.raises(ConfigError, match="scale"):
+            JobSpec(
+                kind="experiment", experiment_id="figure-1", scale_multiplier=0
+            ).validate()
+
+    def test_threshold_one_promotes_on_hit(self):
+        spec = JobSpec(
+            kind="sweep-point",
+            benchmark="word",
+            nursery=0.34,
+            probation=0.33,
+            persistent=0.33,
+            threshold=1,
+        )
+        assert spec.generational_config().promotion_mode is PromotionMode.ON_HIT
+
+    def test_threshold_above_one_promotes_on_eviction(self):
+        spec = JobSpec(
+            kind="sweep-point",
+            benchmark="word",
+            nursery=0.34,
+            probation=0.33,
+            persistent=0.33,
+            threshold=5,
+        )
+        assert (
+            spec.generational_config().promotion_mode
+            is PromotionMode.ON_EVICTION
+        )

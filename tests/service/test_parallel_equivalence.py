@@ -1,0 +1,46 @@
+"""The acceptance property: parallel dispatch is byte-identical.
+
+``run all --jobs N`` and ``sweep --jobs N`` must render the exact same
+bytes as the serial path — workers execute the identical serial code,
+and JSON float round-tripping is lossless — so parallelism can never
+change a reported number.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import sweep
+from repro.experiments.runner import render_all, run_all
+
+#: Tiny but representative slice: one characterization figure, one
+#: evaluation figure (shared-evaluation path), and the sweep.
+IDS = ("figure-1", "figure-9", "sweep")
+SUBSET = ["gzip", "word"]
+SCALE = 32.0
+
+
+def test_run_all_parallel_matches_serial():
+    serial = render_all(
+        run_all(scale_multiplier=SCALE, subset=SUBSET, experiment_ids=IDS)
+    )
+    parallel = render_all(
+        run_all(
+            scale_multiplier=SCALE, subset=SUBSET, experiment_ids=IDS, jobs=3
+        )
+    )
+    assert parallel == serial
+
+
+def test_sweep_parallel_matches_serial():
+    serial = sweep.run(benchmark="art", scale_multiplier=SCALE)
+    parallel = sweep.run(benchmark="art", scale_multiplier=SCALE, jobs=4)
+    assert parallel == serial
+
+
+def test_link_parallel_matches_serial():
+    serial = sweep.probation_threshold_link(
+        benchmark="art", scale_multiplier=SCALE
+    )
+    parallel = sweep.probation_threshold_link(
+        benchmark="art", scale_multiplier=SCALE, jobs=4
+    )
+    assert parallel == serial

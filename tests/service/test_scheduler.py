@@ -1,0 +1,249 @@
+"""Scheduler and worker-pool behaviour tests.
+
+These tests swap the real simulation worker for tiny injectable
+targets (echo, sleep, crash) so pool mechanics — dispatch, memoization,
+retry, timeout — are exercised in milliseconds.  One end-to-end test at
+the bottom runs a real replay job through the real worker.
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import time
+
+import pytest
+
+from repro.errors import ConfigError, JobQueueFullError, JobNotFoundError
+from repro.service.jobs import JobSpec, job_id
+from repro.service.scheduler import (
+    DONE,
+    FAILED,
+    RUNNING,
+    Scheduler,
+    run_jobs,
+)
+from repro.service.store import ResultStore
+from repro.tracelog.binary import dumps_binary
+
+#: A cheap, always-valid spec for pool-mechanics tests.
+SPEC = JobSpec(kind="experiment", experiment_id="figure-1")
+
+
+def _spec(n: int) -> JobSpec:
+    return JobSpec(kind="experiment", experiment_id="figure-1", seed=n)
+
+
+def echo_worker(slot: int, tasks, events) -> None:
+    """Completes every job instantly with an echo payload."""
+    while True:
+        item = tasks.get()
+        if item is None:
+            return
+        jid, spec = item
+        events.put(("done", jid, {"echo": spec["experiment_id"], "slot": slot}))
+
+
+def sleepy_worker(slot: int, tasks, events) -> None:
+    """Accepts jobs and never finishes them."""
+    import time
+
+    while True:
+        item = tasks.get()
+        if item is None:
+            return
+        time.sleep(600)
+
+
+def crashy_worker(slot: int, tasks, events) -> None:
+    """Dies with exit code 17 on every job."""
+    item = tasks.get()
+    if item is None:
+        return
+    os._exit(17)
+
+
+def flaky_worker(slot: int, tasks, events) -> None:
+    """Crashes until the marker file exists, then echoes."""
+    marker = os.environ["REPRO_TEST_FLAKY_MARKER"]
+    item = tasks.get()
+    if item is None:
+        return
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8") as handle:
+            handle.write("crashed once")
+        os._exit(23)
+    jid, spec = item
+    events.put(("done", jid, {"echo": spec["experiment_id"]}))
+
+
+class TestLifecycle:
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigError):
+            Scheduler(workers=0)
+        with pytest.raises(ConfigError):
+            Scheduler(timeout=0)
+        with pytest.raises(ConfigError):
+            Scheduler(max_retries=-1)
+        with pytest.raises(ConfigError):
+            Scheduler(queue_size=0)
+
+    def test_submit_before_start_rejected(self):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError):
+            Scheduler(worker_target=echo_worker).submit(SPEC)
+
+    def test_unknown_job_id(self):
+        with Scheduler(workers=1, worker_target=echo_worker) as scheduler:
+            with pytest.raises(JobNotFoundError):
+                scheduler.status("jdeadbeef")
+
+
+class TestDispatch:
+    def test_jobs_complete_in_spec_order(self):
+        specs = [_spec(n) for n in range(6)]
+        payloads = run_jobs(specs, workers=3, worker_target=echo_worker)
+        assert [p["echo"] for p in payloads] == ["figure-1"] * 6
+
+    def test_duplicate_submission_dedups(self):
+        with Scheduler(workers=1, worker_target=echo_worker) as scheduler:
+            first = scheduler.submit(SPEC)
+            second = scheduler.submit(SPEC)
+            assert first is second
+            scheduler.wait([first.job_id])
+            assert scheduler.metrics.submitted == 1
+
+    def test_metrics_shape(self):
+        with Scheduler(workers=2, worker_target=echo_worker) as scheduler:
+            record = scheduler.submit(SPEC)
+            scheduler.wait([record.job_id])
+            metrics = scheduler.metrics_dict()
+        assert metrics["jobs_completed"] == 1
+        assert metrics["workers_total"] == 2
+        assert 0.0 <= metrics["worker_utilization"] <= 1.0
+        assert set(metrics) >= {
+            "queue_depth",
+            "cache_hit_rate",
+            "jobs_failed",
+            "job_timeouts",
+            "worker_crashes",
+        }
+
+    def test_bounded_admission(self):
+        with Scheduler(
+            workers=1, queue_size=1, worker_target=sleepy_worker, timeout=60
+        ) as scheduler:
+            first = scheduler.submit(_spec(0))
+            # Wait for the first job to occupy the only worker, then
+            # fill the single admission slot.
+            deadline = time.monotonic() + 10
+            while scheduler.status(first.job_id).state != RUNNING:
+                assert time.monotonic() < deadline, "dispatch never happened"
+                time.sleep(0.01)
+            scheduler.submit(_spec(1))
+            with pytest.raises(JobQueueFullError):
+                scheduler.submit(_spec(2))
+
+
+class TestMemoization:
+    def test_store_hit_skips_worker(self, tmp_path):
+        store = ResultStore(tmp_path)
+        payloads = run_jobs(
+            [SPEC], workers=1, store=store, worker_target=echo_worker
+        )
+        assert payloads[0]["echo"] == "figure-1"
+        # Second pool: the worker would crash if ever dispatched, so a
+        # completed record proves the job was served from the store
+        # with zero simulated events.
+        with Scheduler(
+            workers=1, store=store, worker_target=crashy_worker
+        ) as scheduler:
+            record = scheduler.submit(SPEC)
+            assert record.state == DONE
+            assert record.cached
+            assert record.payload == payloads[0]
+            assert scheduler.metrics.cache_hits == 1
+
+    def test_corrupt_blob_recomputes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_jobs([SPEC], workers=1, store=store, worker_target=echo_worker)
+        store.path_for(job_id(SPEC)).write_text("garbage", encoding="utf-8")
+        payloads = run_jobs(
+            [SPEC], workers=1, store=store, worker_target=echo_worker
+        )
+        assert payloads[0]["echo"] == "figure-1"
+
+
+class TestFailureHandling:
+    def test_crash_retries_then_fails(self):
+        with Scheduler(
+            workers=1,
+            worker_target=crashy_worker,
+            max_retries=1,
+            backoff_base=0.01,
+        ) as scheduler:
+            record = scheduler.submit(SPEC)
+            assert scheduler.wait([record.job_id], timeout=30)
+            assert record.state == FAILED
+            assert record.attempts == 2
+            assert "exit code 17" in record.error
+            assert scheduler.metrics.worker_crashes >= 2
+
+    def test_crash_then_recovery(self, tmp_path, monkeypatch):
+        marker = tmp_path / "crashed-once"
+        monkeypatch.setenv("REPRO_TEST_FLAKY_MARKER", str(marker))
+        with Scheduler(
+            workers=1,
+            worker_target=flaky_worker,
+            max_retries=2,
+            backoff_base=0.01,
+        ) as scheduler:
+            record = scheduler.submit(SPEC)
+            assert scheduler.wait([record.job_id], timeout=30)
+            assert record.state == DONE
+            assert record.attempts == 2
+            assert marker.exists()
+
+    def test_timeout_kills_and_fails(self):
+        with Scheduler(
+            workers=1,
+            worker_target=sleepy_worker,
+            timeout=0.3,
+            max_retries=0,
+        ) as scheduler:
+            record = scheduler.submit(SPEC)
+            assert scheduler.wait([record.job_id], timeout=30)
+            assert record.state == FAILED
+            assert "timed out" in record.error
+            assert scheduler.metrics.timeouts == 1
+
+    def test_run_jobs_raises_on_failure(self):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError, match="failed"):
+            run_jobs(
+                [SPEC],
+                workers=1,
+                worker_target=crashy_worker,
+                max_retries=0,
+                backoff_base=0.01,
+            )
+
+
+class TestRealWorker:
+    def test_replay_job_end_to_end(self, small_log):
+        """One inline replay through the real simulation worker."""
+        spec = JobSpec(
+            kind="replay",
+            manager="unified",
+            capacity=300,
+            log_inline=base64.b64encode(dumps_binary(small_log)).decode(),
+        )
+        payloads = run_jobs([spec], workers=1)
+        result = payloads[0]["result"]
+        assert result["benchmark"] == "tiny"
+        assert result["manager"].startswith("unified")
+        assert result["capacity"] == 300
+        assert result["misses"] >= 1
+        assert 0.0 <= result["miss_rate"] <= 1.0

@@ -1,0 +1,123 @@
+"""Result-store durability tests."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.service.store import ResultStore
+
+JID = "jabc123def4567890abc123def456789"
+PAYLOAD = {"kind": "experiment", "result": {"rows": [1, 2, 3]}, "pi": 3.125}
+
+
+class TestContentAddress:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(JID, PAYLOAD)
+        assert store.get(JID) == PAYLOAD
+        assert JID in store
+
+    def test_stable_across_instances(self, tmp_path):
+        ResultStore(tmp_path).put(JID, PAYLOAD)
+        # A brand-new instance over the same directory sees the blob.
+        assert ResultStore(tmp_path).get(JID) == PAYLOAD
+
+    def test_sharded_layout(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(JID, PAYLOAD)
+        assert path.parent.name == JID[:2]
+        assert store.job_ids() == [JID]
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultStore(tmp_path).get(JID) is None
+
+    def test_overwrite(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(JID, {"v": 1})
+        store.put(JID, {"v": 2})
+        assert store.get(JID) == {"v": 2}
+
+    def test_discard(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(JID, PAYLOAD)
+        store.discard(JID)
+        assert store.get(JID) is None
+        store.discard(JID)  # idempotent
+
+
+class TestCorruption:
+    """A damaged blob must read as a miss (recompute), never crash."""
+
+    def test_truncated_blob(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(JID, PAYLOAD)
+        path.write_text(path.read_text()[:-20])
+        assert store.get(JID) is None
+        assert not path.exists()  # discarded so the next put recreates it
+
+    def test_garbage_blob(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(JID, PAYLOAD)
+        path.write_text("not json at all {{{")
+        assert store.get(JID) is None
+
+    def test_flipped_payload_fails_checksum(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(JID, PAYLOAD)
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["result"]["rows"] = [9, 9, 9]
+        path.write_text(json.dumps(envelope))
+        assert store.get(JID) is None
+
+    def test_wrong_job_id_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        other = "jffffffffffffffffffffffffffffff0"
+        path = store.put(JID, PAYLOAD)
+        # Copy the valid blob under a different id: must not be served.
+        target = store.path_for(other)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(path.read_text())
+        assert store.get(other) is None
+
+    def test_recompute_after_corruption(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(JID, PAYLOAD)
+        path.write_text("garbage")
+        assert store.get(JID) is None
+        store.put(JID, PAYLOAD)
+        assert store.get(JID) == PAYLOAD
+
+
+class TestConcurrency:
+    def test_concurrent_readers_and_writers(self, tmp_path):
+        """Atomic replace means a reader sees a complete blob or a
+        miss — never a torn write or a checksum crash."""
+        store = ResultStore(tmp_path)
+        payloads = [{"v": n, "rows": list(range(n % 7))} for n in range(40)]
+        errors: list[BaseException] = []
+
+        def writer(worker: int) -> None:
+            try:
+                for payload in payloads:
+                    store.put(JID, payload)
+            except BaseException as exc:  # pragma: no cover - fail below
+                errors.append(exc)
+
+        def reader() -> None:
+            try:
+                for _ in range(200):
+                    payload = store.get(JID)
+                    assert payload is None or payload in payloads
+            except BaseException as exc:  # pragma: no cover - fail below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(n,)) for n in range(4)
+        ] + [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert store.get(JID) in payloads

@@ -65,3 +65,51 @@ class TestErrors:
         log = synthesize_log(get_profile("art"), seed=5, scale=2.0)
         parsed = loads_binary(dumps_binary(log))
         assert parsed.records == log.records
+
+
+class TestStreaming:
+    """Chunk-buffered dump_binary/load_binary match the in-memory API."""
+
+    def test_stream_bytes_identical(self, small_log):
+        import io
+
+        from repro.tracelog.binary import dump_binary
+
+        buffer = io.BytesIO()
+        written = dump_binary(small_log, buffer)
+        assert buffer.getvalue() == dumps_binary(small_log)
+        assert written == len(buffer.getvalue())
+
+    def test_tiny_chunks_round_trip(self, small_log):
+        import io
+
+        from repro.tracelog.binary import dump_binary, load_binary
+
+        # chunk_size=1 forces a flush per record and a refill per byte:
+        # the worst case for the buffering logic.
+        buffer = io.BytesIO()
+        dump_binary(small_log, buffer, chunk_size=1)
+        assert buffer.getvalue() == dumps_binary(small_log)
+        buffer.seek(0)
+        parsed = load_binary(buffer, chunk_size=1)
+        assert parsed.records == small_log.records
+        assert parsed.benchmark == small_log.benchmark
+
+    def test_truncated_stream(self, small_log):
+        import io
+
+        from repro.tracelog.binary import load_binary
+
+        data = dumps_binary(small_log)
+        with pytest.raises(LogFormatError):
+            load_binary(io.BytesIO(data[:-3]))
+
+    def test_invalid_chunk_size(self, small_log):
+        import io
+
+        from repro.tracelog.binary import dump_binary, load_binary
+
+        with pytest.raises(LogFormatError):
+            dump_binary(small_log, io.BytesIO(), chunk_size=0)
+        with pytest.raises(LogFormatError):
+            load_binary(io.BytesIO(b""), chunk_size=0)
