@@ -231,6 +231,67 @@ class PolicyApiRule(Rule):
 
 
 @register
+class SharedCacheApiRule(Rule):
+    """Direct :class:`~repro.shared.cache.SharedPersistentCache` use is
+    confined to :mod:`repro.shared`: its mutators skip the group
+    manager's attachment/pin-claim bookkeeping, so a write from any
+    other layer can strand a process on evicted shared code."""
+
+    rule_id = "shared-cache-api"
+    description = (
+        "SharedPersistentCache construction/mutation is confined to "
+        "repro.shared; other layers go through the cache group manager"
+    )
+    severity = Severity.ERROR
+    exempt_paths = ("*repro/shared/*",)
+
+    def visit_Import(self, ctx: FileContext, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "repro.shared.cache":
+                ctx.report(
+                    self,
+                    node,
+                    "import of repro.shared.cache outside repro.shared; "
+                    "drive the shared cache through make_group",
+                )
+
+    def visit_ImportFrom(self, ctx: FileContext, node: ast.ImportFrom) -> None:
+        if node.level != 0:
+            return
+        module = node.module or ""
+        imported = {alias.name for alias in node.names}
+        if module == "repro.shared.cache":
+            ctx.report(
+                self,
+                node,
+                "import from repro.shared.cache outside repro.shared; "
+                "drive the shared cache through make_group",
+            )
+        elif module.startswith("repro.") and "SharedPersistentCache" in imported:
+            ctx.report(
+                self,
+                node,
+                "import of SharedPersistentCache outside repro.shared; "
+                "drive the shared cache through make_group",
+            )
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name == "SharedPersistentCache":
+            ctx.report(
+                self,
+                node,
+                "direct SharedPersistentCache construction outside "
+                "repro.shared; use make_group",
+            )
+
+
+@register
 class FloatEqualityRule(Rule):
     """Miss rates, fractions and overhead ratios are floats; comparing
     them with ``==``/``!=`` against float literals is a rounding bug

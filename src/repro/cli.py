@@ -17,6 +17,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -33,6 +34,7 @@ from repro.experiments.runner import (
 )
 from repro.experiments import sweep as sweep_module
 from repro.service.client import ServiceClient
+from repro.service.jobs import spec_from_dict
 from repro.service.http import DEFAULT_HOST, DEFAULT_PORT, make_server
 from repro.service.scheduler import (
     DEFAULT_RETRIES,
@@ -276,7 +278,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_submit(args: argparse.Namespace) -> int:
+def _submit_spec(args: argparse.Namespace):
+    """The :class:`JobSpec` a ``submit`` invocation describes.
+
+    Either a positional experiment id or a raw ``--spec`` JSON object
+    (any job kind, e.g. a single sweep-point or shared-mix cell); both
+    validate locally first, so a malformed spec is a ConfigError (exit
+    2) before anything reaches the service.
+    """
+    if args.spec is not None:
+        if args.experiment is not None:
+            raise ConfigError(
+                "pass either an experiment id or --spec, not both"
+            )
+        try:
+            data = json.loads(args.spec)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"--spec is not valid JSON: {exc}") from exc
+        return spec_from_dict(data)
+    if args.experiment is None:
+        raise ConfigError("submit needs an experiment id or --spec")
     if args.experiment == "all":
         raise ConfigError(
             "submit takes a single experiment id; use "
@@ -285,7 +306,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     _validate_experiment_ids((args.experiment,))
     _validate_scale(args)
     subset = quick_subset() if args.quick else None
-    spec = experiment_specs(
+    return experiment_specs(
         (args.experiment,),
         seed=args.seed,
         scale_multiplier=args.scale,
@@ -293,6 +314,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         sanitize=args.sanitize,
         sanitize_stride=args.sanitize_stride,
     )[0]
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    spec = _submit_spec(args)
     client = ServiceClient(args.server)
     status = client.submit(spec)
     source = " (served from result store)" if status.get("cached") else ""
@@ -306,7 +331,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             f"job {status['job_id']} failed: {status.get('error')}"
         )
     payload = client.result(status["job_id"])
-    print(render_table(result_from_dict(payload["result"])))
+    if payload.get("kind") == "experiment":
+        print(render_table(result_from_dict(payload["result"])))
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
 
@@ -320,8 +348,6 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 
 def _cmd_fetch(args: argparse.Namespace) -> int:
-    import json
-
     payload = ServiceClient(args.server).result(args.job_id)
     if payload.get("kind") == "experiment":
         print(render_table(result_from_dict(payload["result"])))
@@ -448,7 +474,14 @@ def build_parser() -> argparse.ArgumentParser:
     submit_parser = sub.add_parser(
         "submit", help="submit one experiment job over HTTP"
     )
-    submit_parser.add_argument("experiment", help="experiment id")
+    submit_parser.add_argument(
+        "experiment", nargs="?", default=None, help="experiment id"
+    )
+    submit_parser.add_argument(
+        "--spec", default=None, metavar="JSON",
+        help="submit a raw job spec object instead of an experiment id "
+        "(any kind: sweep-point, replay, shared-mix, ...)",
+    )
     submit_parser.add_argument("--seed", type=int, default=42)
     submit_parser.add_argument("--scale", type=float, default=1.0)
     submit_parser.add_argument(

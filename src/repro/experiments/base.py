@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from repro.errors import ExperimentError
@@ -17,6 +19,11 @@ class ExperimentResult:
         columns: Column names in display order.
         rows: One dict per row, keyed by column name.
         notes: Free-form remarks (scale used, deviations, etc.).
+        seed: Workload RNG master seed the table was generated from
+            (``None`` for seed-independent tables until provenance is
+            attached).
+        config_digest: Short content digest of the generating
+            parameters (see :func:`attach_provenance`).
     """
 
     experiment_id: str
@@ -24,6 +31,8 @@ class ExperimentResult:
     columns: list[str]
     rows: list[dict[str, object]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    seed: int | None = None
+    config_digest: str | None = None
 
     def add_row(self, **values: object) -> None:
         """Append a row; every column must be present."""
@@ -41,6 +50,24 @@ class ExperimentResult:
         return [row[name] for row in self.rows]
 
 
+def attach_provenance(
+    result: ExperimentResult, seed: int, **params: object
+) -> ExperimentResult:
+    """Stamp *result* with its workload seed and a config digest.
+
+    The digest is a short sha256 over the canonical JSON of the
+    generating parameters (experiment id, seed, and any
+    experiment-specific *params*), so two tables with the same digest
+    were produced by identical configurations.  Returns *result* for
+    chaining.
+    """
+    payload = {"experiment_id": result.experiment_id, "seed": seed, **params}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    result.seed = seed
+    result.config_digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+    return result
+
+
 def _format_cell(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.2f}"
@@ -51,6 +78,9 @@ def render_table(result: ExperimentResult) -> str:
     """Render a result as an aligned plain-text table (what the
     benchmark harness prints, mirroring the paper's rows/series)."""
     header = [result.experiment_id.upper() + ": " + result.title]
+    if result.seed is not None:
+        digest = result.config_digest or "-"
+        header.append(f"seed={result.seed}  config={digest}")
     cells = [result.columns] + [
         [_format_cell(row[c]) for c in result.columns] for row in result.rows
     ]

@@ -22,11 +22,16 @@ from repro.experiments import (
     headroom,
     reuse,
     robustness,
+    shared,
     sweep,
     table01_benchmarks,
     table02_overheads,
 )
-from repro.experiments.base import ExperimentResult, render_table
+from repro.experiments.base import (
+    ExperimentResult,
+    attach_provenance,
+    render_table,
+)
 from repro.experiments.dataset import WorkloadDataset
 from repro.experiments.evaluation import run_evaluation
 
@@ -59,6 +64,7 @@ EXTENSION_EXPERIMENT_IDS: tuple[str, ...] = (
     "headroom",
     "robustness",
     "reuse",
+    "shared",
 )
 
 
@@ -153,8 +159,40 @@ def run_all(
             )
         elif experiment_id == "reuse":
             results.append(reuse.run(dataset=dataset))
+        elif experiment_id == "shared":
+            results.append(
+                shared.run(
+                    seed=seed,
+                    scale_multiplier=scale_multiplier,
+                    quick=bool(subset),
+                )
+            )
         else:
             raise KeyError(f"unknown experiment id {experiment_id!r}")
+    return _attach_all(results, seed, scale_multiplier, subset, sweep_benchmark)
+
+
+def _attach_all(
+    results: list[ExperimentResult],
+    seed: int,
+    scale_multiplier: float,
+    subset: list[str] | None,
+    sweep_benchmark: str,
+) -> list[ExperimentResult]:
+    """Stamp uniform provenance on every table of a run.
+
+    Serial runs, worker-side nested runs, and parallel reassembly all
+    pass through here with identical parameters, which is what keeps
+    ``--jobs N`` output byte-identical to a serial run.
+    """
+    for result in results:
+        attach_provenance(
+            result,
+            seed,
+            scale_multiplier=scale_multiplier,
+            subset=sorted(subset) if subset else None,
+            sweep_benchmark=sweep_benchmark,
+        )
     return results
 
 
@@ -208,8 +246,11 @@ def _run_all_parallel(
     for experiment_id in experiment_ids:
         if experiment_id not in known:
             raise KeyError(f"unknown experiment id {experiment_id!r}")
+    # The shared experiment fans out its own finer-grained shared-mix
+    # jobs, so it runs at this level rather than as one coarse job.
+    remote_ids = tuple(e for e in experiment_ids if e != "shared")
     specs = experiment_specs(
-        experiment_ids,
+        remote_ids,
         seed=seed,
         scale_multiplier=scale_multiplier,
         subset=subset,
@@ -217,8 +258,24 @@ def _run_all_parallel(
         sanitize=sanitize,
         sanitize_stride=sanitize_stride,
     )
-    payloads = run_jobs(specs, workers=jobs, store=store)
-    return [result_from_dict(payload["result"]) for payload in payloads]
+    payloads = run_jobs(specs, workers=jobs, store=store) if specs else []
+    remote = {
+        experiment_id: result_from_dict(payload["result"])
+        for experiment_id, payload in zip(remote_ids, payloads)
+    }
+    results = [
+        shared.run(
+            seed=seed,
+            scale_multiplier=scale_multiplier,
+            quick=bool(subset),
+            jobs=jobs,
+            store=store,
+        )
+        if experiment_id == "shared"
+        else remote[experiment_id]
+        for experiment_id in experiment_ids
+    ]
+    return _attach_all(results, seed, scale_multiplier, subset, sweep_benchmark)
 
 
 def render_all(results: list[ExperimentResult]) -> str:

@@ -17,7 +17,7 @@ from repro.cachesim.simulator import simulate_log
 from repro.core.config import GenerationalConfig, PromotionMode
 from repro.core.generational import GenerationalCacheManager
 from repro.core.unified import UnifiedCacheManager
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, attach_provenance
 from repro.experiments.dataset import WorkloadDataset
 from repro.experiments.evaluation import baseline_capacity
 
@@ -104,7 +104,9 @@ def run(
         f"at {capacity} bytes"
     )
     result.notes.append(_scale_note(benchmark, seed, scale_multiplier, dataset))
-    return result
+    return attach_provenance(
+        result, seed, benchmark=benchmark, scale_multiplier=scale_multiplier
+    )
 
 
 def _scale_note(
@@ -250,7 +252,9 @@ def probation_threshold_link(
             BestMissPct=round((best_rate or 0.0) * 100, 3),
         )
     result.notes.append(_scale_note(benchmark, seed, scale_multiplier, dataset))
-    return result
+    return attach_provenance(
+        result, seed, benchmark=benchmark, scale_multiplier=scale_multiplier
+    )
 
 
 def _serial_cell_rates(

@@ -12,7 +12,7 @@ import time
 import urllib.error
 import urllib.request
 
-from repro.errors import ServiceError
+from repro.errors import ConfigError, ServiceError
 from repro.service.jobs import JobSpec
 from repro.service.scheduler import TERMINAL_STATES
 
@@ -119,10 +119,15 @@ class ServiceClient:
                 detail = json.loads(exc.read().decode("utf-8")).get("error", "")
             except (ValueError, OSError):
                 detail = exc.reason or ""
-            raise ServiceError(
-                f"{method} {path} failed: HTTP {exc.code}"
-                + (f" ({detail})" if detail else "")
-            ) from exc
+            message = f"{method} {path} failed: HTTP {exc.code}" + (
+                f" ({detail})" if detail else ""
+            )
+            if exc.code == 400:
+                # The server rejected the request as malformed (e.g. an
+                # unknown policy name in a submitted spec): that is the
+                # caller's configuration error, not a service failure.
+                raise ConfigError(message) from exc
+            raise ServiceError(message) from exc
         except (urllib.error.URLError, OSError, ValueError) as exc:
             raise ServiceError(
                 f"{method} {path} failed: cannot reach {self.base_url}: {exc}"

@@ -8,7 +8,7 @@ never depend on process state or ``PYTHONHASHSEED``).  The result store
 memoizes finished payloads under that id, which is what lets repeated
 figure regenerations skip re-simulating.
 
-Three job kinds cover the service's consumers:
+Four job kinds cover the service's consumers:
 
 * ``experiment`` — regenerate one paper artifact (``figure-9``, …)
   exactly as :func:`repro.experiments.runner.run_all` would.
@@ -17,6 +17,9 @@ Three job kinds cover the service's consumers:
   fans out.
 * ``replay`` — replay a recorded trace log (shipped by path, or inline
   as base64 of the RTL2 binary format) against one cache manager.
+* ``shared-mix`` — one (mix, process count, sharing policy) cell of
+  the cross-process shared-cache table, the unit ``run shared
+  --jobs N`` fans out.
 """
 
 from __future__ import annotations
@@ -28,13 +31,17 @@ from dataclasses import asdict, dataclass, fields
 from repro.analysis.sanitizer import DEFAULT_STRIDE
 from repro.core.config import GenerationalConfig, PromotionMode
 from repro.errors import ConfigError
+from repro.shared.policy import MIX_KINDS, POLICY_VARIANTS
+from repro.sim.interleave import DEFAULT_QUANTUM, SCHEDULES
 
 #: Bump when the job/payload wire format changes incompatibly; part of
 #: the content address, so old store blobs are never misread.
-JOB_FORMAT = 1
+#: v2: shared-mix jobs, provenance keys (seed/config_digest) in every
+#: payload.
+JOB_FORMAT = 2
 
 #: The supported job kinds.
-JOB_KINDS = ("experiment", "sweep-point", "replay")
+JOB_KINDS = ("experiment", "sweep-point", "replay", "shared-mix")
 
 
 @dataclass(frozen=True)
@@ -62,6 +69,11 @@ class JobSpec:
         log_inline: Base64 RTL2 bytes of a trace log (``replay`` jobs).
         sanitize: Run the replay under the invariant sanitizer.
         sanitize_stride: Events between sanitizer sweeps.
+        mix: Process-mix kind (``shared-mix`` jobs).
+        processes: Number of concurrent processes (``shared-mix``).
+        policy: Sharing policy variant (``shared-mix``).
+        schedule: Interleaving schedule (``shared-mix``).
+        quantum: Records per scheduling turn (``shared-mix``).
     """
 
     kind: str = "experiment"
@@ -82,6 +94,11 @@ class JobSpec:
     log_inline: str | None = None
     sanitize: bool = False
     sanitize_stride: int = DEFAULT_STRIDE
+    mix: str | None = None
+    processes: int | None = None
+    policy: str | None = None
+    schedule: str = "round-robin"
+    quantum: int = DEFAULT_QUANTUM
 
     def validate(self) -> None:
         """Check cross-field consistency.
@@ -108,6 +125,30 @@ class JobSpec:
             if not self.benchmark:
                 raise ConfigError("sweep-point jobs need a benchmark")
             self._validate_manager()
+        elif self.kind == "shared-mix":
+            if self.mix not in MIX_KINDS:
+                raise ConfigError(
+                    f"shared-mix jobs need a mix from {MIX_KINDS}, got "
+                    f"{self.mix!r}"
+                )
+            if self.processes is None or self.processes < 2:
+                raise ConfigError(
+                    f"shared-mix jobs need processes >= 2, got {self.processes}"
+                )
+            if self.policy not in POLICY_VARIANTS:
+                raise ConfigError(
+                    f"shared-mix jobs need a policy from {POLICY_VARIANTS}, "
+                    f"got {self.policy!r}"
+                )
+            if self.schedule not in SCHEDULES:
+                raise ConfigError(
+                    f"shared-mix jobs need a schedule from {SCHEDULES}, got "
+                    f"{self.schedule!r}"
+                )
+            if self.quantum < 1:
+                raise ConfigError(
+                    f"shared-mix quantum must be >= 1, got {self.quantum}"
+                )
         else:  # replay
             given = [p for p in (self.log_path, self.log_inline) if p]
             if len(given) != 1:
@@ -144,7 +185,13 @@ class JobSpec:
         threshold of 1 promotes on-hit, anything larger on-eviction.
         """
         if self.promotion_mode is not None:
-            mode = PromotionMode(self.promotion_mode)
+            try:
+                mode = PromotionMode(self.promotion_mode)
+            except ValueError as exc:
+                raise ConfigError(
+                    f"unknown promotion mode {self.promotion_mode!r}; choose "
+                    f"from {[m.value for m in PromotionMode]}"
+                ) from exc
         else:
             mode = (
                 PromotionMode.ON_HIT

@@ -422,8 +422,17 @@ class Scheduler:
                 self.metrics.store_errors += 1
 
     def _register_failure(self, record: JobRecord, message: str) -> None:
-        """Retry with backoff, or give up.  Caller holds the lock."""
+        """Retry with backoff, or give up.  Caller holds the lock.
+
+        Configuration errors fail immediately: a spec the worker
+        rejected as invalid is deterministic, so retrying it would only
+        burn ``max_retries`` worker slots producing the same message.
+        """
         record.error = message
+        if message.startswith("ConfigError:"):
+            record.state = FAILED
+            self.metrics.failed += 1
+            return
         if record.attempts <= self.max_retries:
             record.state = QUEUED
             self.metrics.retried += 1

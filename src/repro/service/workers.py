@@ -27,7 +27,7 @@ from repro.core.generational import GenerationalCacheManager
 from repro.core.unified import UnifiedCacheManager
 from repro.errors import ConfigError, ReproError
 from repro.experiments.base import ExperimentResult
-from repro.service.jobs import JobSpec, spec_from_dict
+from repro.service.jobs import JobSpec, job_id, spec_from_dict
 from repro.tracelog.binary import MAGIC, loads_binary
 from repro.tracelog.reader import read_log
 from repro.tracelog.records import TraceLog
@@ -42,6 +42,8 @@ def result_to_dict(result: ExperimentResult) -> dict:
         "columns": list(result.columns),
         "rows": [dict(row) for row in result.rows],
         "notes": list(result.notes),
+        "seed": result.seed,
+        "config_digest": result.config_digest,
     }
 
 
@@ -53,6 +55,8 @@ def result_from_dict(data: dict) -> ExperimentResult:
         columns=list(data["columns"]),
         rows=[dict(row) for row in data["rows"]],
         notes=list(data["notes"]),
+        seed=data.get("seed"),
+        config_digest=data.get("config_digest"),
     )
 
 
@@ -141,10 +145,28 @@ def _run_replay(spec: JobSpec) -> dict:
     return {"kind": spec.kind, "result": sim_summary(sim, capacity)}
 
 
+def _run_shared_mix(spec: JobSpec) -> dict:
+    # Imported lazily: the shared experiment fans back out through the
+    # scheduler for --jobs runs, so a module-level import would cycle.
+    from repro.experiments.shared import simulate_mix
+
+    cell = simulate_mix(
+        spec.mix,
+        spec.processes,
+        spec.policy,
+        seed=spec.seed,
+        scale_multiplier=spec.scale_multiplier,
+        schedule=spec.schedule,
+        quantum=spec.quantum,
+    )
+    return {"kind": spec.kind, "result": cell}
+
+
 _EXECUTORS = {
     "experiment": _run_experiment,
     "sweep-point": _run_sweep_point,
     "replay": _run_replay,
+    "shared-mix": _run_shared_mix,
 }
 
 
@@ -161,6 +183,10 @@ def execute_job(spec: JobSpec) -> dict:
         TOTALS.reset()
     try:
         payload = _EXECUTORS[spec.kind](spec)
+        # Every payload carries its provenance: the workload seed and
+        # the spec's content address (which digests every config field).
+        payload["seed"] = spec.seed
+        payload["config_digest"] = job_id(spec)
         if spec.sanitize:
             payload["sanitizer"] = {
                 "simulations": TOTALS.simulations,

@@ -1,0 +1,202 @@
+"""Composing per-process workloads for multi-tenant scenarios.
+
+A *process workload* pairs a trace log with the content key of every
+trace it creates (:class:`~repro.shared.identity.TraceKey`), which is
+what lets the multi-process simulator recognize identical code across
+processes:
+
+* Two processes running the **same benchmark** (same binary, same
+  recording) generate identical logs, so every trace keys equal —
+  the homogeneous mix deduplicates fully under sharing.
+* Heterogeneous processes share through a **shared-library overlay**:
+  one library log (synthesized once, from one library-private seed) is
+  merged into every process's log with its trace/module ids remapped
+  into reserved ranges and its times rescaled to the host process's
+  duration.  Library keys are derived from the *original* library
+  identity, so every process agrees on them — the cross-process
+  overlap ShareJIT observes from frameworks and system libraries.
+
+Library ``ModuleUnmap`` records are dropped during the overlay: a
+shared library outlives any one process's phases, and per-process
+unmap of shared code is exactly what the reference-counted shared
+cache's detach path models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.rand import derive_seed
+from repro.shared.identity import TraceKey
+from repro.tracelog.records import (
+    EndOfLog,
+    ModuleUnmap,
+    TraceAccess,
+    TraceCreate,
+    TraceLog,
+    TracePin,
+    TraceUnpin,
+)
+from repro.workloads.catalog import get_profile
+from repro.workloads.synthesis import synthesize_log
+
+#: Namespace of shared-library trace keys (never collides with a
+#: benchmark name).
+LIBRARY_NAMESPACE = "__shlib__"
+
+#: Library trace ids are remapped above every app trace id.
+LIBRARY_TRACE_BASE = 1 << 24
+
+#: Library module ids are remapped above every app module id.
+LIBRARY_MODULE_BASE = 1 << 20
+
+#: Benchmark profile the shared-library overlay is synthesized from.
+DEFAULT_LIBRARY = "gap"
+
+#: Extra scale divisor on the library profile (shrinks the library
+#: relative to the app it is linked into).
+DEFAULT_LIBRARY_SCALE = 2.0
+
+
+@dataclass
+class ProcessWorkload:
+    """One process's replayable workload.
+
+    Attributes:
+        name: Display name (benchmark, plus ``+shlib`` when composed).
+        log: The process's trace log.
+        keys: Content key per created trace id (covering every
+            ``TraceCreate`` in :attr:`log`).
+    """
+
+    name: str
+    log: TraceLog
+    keys: dict[int, TraceKey] = field(default_factory=dict)
+
+
+def workload_keys(namespace: str, log: TraceLog) -> dict[int, TraceKey]:
+    """Content keys of every trace a synthesized log creates."""
+    return {
+        record.trace_id: TraceKey.from_workload(
+            namespace, record.trace_id, record.size, record.module_id
+        )
+        for record in log.creates()
+    }
+
+
+def compose_with_library(
+    app_name: str, app_log: TraceLog, library_log: TraceLog
+) -> ProcessWorkload:
+    """Link the shared-library overlay into one process's log.
+
+    Library record times are rescaled onto the app's virtual-time axis
+    (so library reuse spreads across the whole run), ids are remapped
+    into the reserved ranges, and library unmaps are dropped.
+    """
+    app_end = max(1, app_log.end_time)
+    lib_end = max(1, library_log.end_time)
+    keys = workload_keys(app_name, app_log)
+    lib_records: list = []
+    for record in library_log.records:
+        if isinstance(record, (ModuleUnmap, EndOfLog)):
+            continue
+        time = record.time * app_end // lib_end
+        if isinstance(record, TraceCreate):
+            new_id = record.trace_id + LIBRARY_TRACE_BASE
+            keys[new_id] = TraceKey.from_workload(
+                LIBRARY_NAMESPACE, record.trace_id, record.size, record.module_id
+            )
+            lib_records.append(
+                TraceCreate(
+                    time=time,
+                    trace_id=new_id,
+                    size=record.size,
+                    module_id=record.module_id + LIBRARY_MODULE_BASE,
+                )
+            )
+        elif isinstance(record, TraceAccess):
+            lib_records.append(
+                TraceAccess(
+                    time=time,
+                    trace_id=record.trace_id + LIBRARY_TRACE_BASE,
+                    repeat=record.repeat,
+                )
+            )
+        elif isinstance(record, TracePin):
+            lib_records.append(
+                TracePin(time=time, trace_id=record.trace_id + LIBRARY_TRACE_BASE)
+            )
+        elif isinstance(record, TraceUnpin):
+            lib_records.append(
+                TraceUnpin(time=time, trace_id=record.trace_id + LIBRARY_TRACE_BASE)
+            )
+    merged = TraceLog(
+        benchmark=f"{app_name}+shlib",
+        duration_seconds=app_log.duration_seconds,
+        code_footprint=app_log.code_footprint + library_log.code_footprint,
+    )
+    app_records = [r for r in app_log.records if not isinstance(r, EndOfLog)]
+    a = b = 0
+    while a < len(app_records) or b < len(lib_records):
+        # Two-pointer merge; the app wins time ties so per-stream order
+        # and the merge result are both deterministic.
+        if b >= len(lib_records) or (
+            a < len(app_records) and app_records[a].time <= lib_records[b].time
+        ):
+            merged.append(app_records[a])
+            a += 1
+        else:
+            merged.append(lib_records[b])
+            b += 1
+    merged.append(EndOfLog(time=app_end))
+    merged.validate()
+    return ProcessWorkload(name=merged.benchmark, log=merged, keys=keys)
+
+
+def build_process_workloads(
+    benchmarks: list[str],
+    seed: int = 42,
+    scale_multiplier: float = 1.0,
+    library: str | None = DEFAULT_LIBRARY,
+    library_scale: float = DEFAULT_LIBRARY_SCALE,
+) -> list[ProcessWorkload]:
+    """One workload per entry of *benchmarks* (index = process id).
+
+    Repeated benchmark names produce content-identical workloads (same
+    binary run twice); with *library* set, every process additionally
+    links the same shared-library overlay.
+
+    Raises:
+        ConfigError: for an empty mix or a non-positive library scale.
+    """
+    if not benchmarks:
+        raise ConfigError("a process mix needs at least one benchmark")
+    if library is not None and library_scale <= 0:
+        raise ConfigError(f"library scale must be > 0, got {library_scale:g}")
+    library_log = None
+    if library is not None:
+        profile = get_profile(library)
+        library_log = synthesize_log(
+            profile,
+            seed=derive_seed(seed, "shared.library"),
+            scale=profile.default_scale * scale_multiplier * library_scale,
+        )
+    composed: dict[str, ProcessWorkload] = {}
+    workloads: list[ProcessWorkload] = []
+    for name in benchmarks:
+        if name not in composed:
+            profile = get_profile(name)
+            app_log = synthesize_log(
+                profile,
+                seed=seed,
+                scale=profile.default_scale * scale_multiplier,
+            )
+            if library_log is None:
+                composed[name] = ProcessWorkload(
+                    name=name, log=app_log, keys=workload_keys(name, app_log)
+                )
+            else:
+                composed[name] = compose_with_library(name, app_log, library_log)
+        workloads.append(composed[name])
+    return workloads

@@ -1,0 +1,735 @@
+"""Cache groups: N processes' hierarchies under one sharing policy.
+
+A :class:`SharedCacheGroup` is the multi-process analogue of
+:class:`~repro.core.manager.CacheManager`: every operation carries the
+acting process index, trace identity is the interner's *gid* (content
+address), and insertions report whether the generation work was
+avoided because an identical trace was already shared
+(:class:`InsertOutcome`).
+
+Three concrete groups implement the :data:`~repro.shared.policy.SharingPolicy`
+points; build them through :func:`make_group`:
+
+* :class:`PrivateCacheGroup` — one full generational hierarchy per
+  process (the paper's world, replicated N times; the baseline the
+  shared experiments compare against).
+* :class:`SharedPersistentGroup` — per-process nursery/probation in
+  front of one :class:`~repro.shared.cache.SharedPersistentCache`;
+  probation graduates *attach* instead of inserting when their content
+  is already shared.
+* :class:`SharedAllGroup` — a single hierarchy serves every process,
+  with group-level reference counting so an unmap by one process only
+  deletes traces no other process still maps.
+
+All direct mutation of the shared cache lives here (and in
+:mod:`repro.shared.cache` itself) — the ``shared-cache-api`` cachelint
+rule keeps other layers out.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core.config import GenerationalConfig, PromotionMode
+from repro.core.effects import (
+    AccessOutcome,
+    Effect,
+    Evicted,
+    EvictionReason,
+    Inserted,
+    Promoted,
+)
+from repro.core.generational import NURSERY, PROBATION, GenerationalCacheManager
+from repro.errors import ConfigError, InvariantViolation
+from repro.policies import POLICIES
+from repro.policies.base import CachedTrace, CodeCache
+from repro.shared.cache import SHARED_PERSISTENT, SharedPersistentCache
+from repro.shared.policy import SharingConfig, SharingPolicy, TemperatureTracker
+
+
+@dataclass
+class InsertOutcome:
+    """Result of asking the group to insert a (re)generated trace.
+
+    Attributes:
+        effects: Physical effects (insertions, cascaded evictions and
+            promotions).  Empty when the insert deduplicated.
+        deduped: True when an identical trace was already resident in
+            shared memory — the process attached to the existing copy
+            and no code was generated.
+    """
+
+    effects: list[Effect] = field(default_factory=list)
+    deduped: bool = False
+
+
+def _make_cache(config: GenerationalConfig, capacity: int, name: str) -> CodeCache:
+    policy_class = POLICIES.get(config.local_policy)
+    if policy_class is None:
+        raise ConfigError(
+            f"unknown local policy {config.local_policy!r}; "
+            f"choose from {sorted(POLICIES)}"
+        )
+    kwargs = {}
+    if config.local_policy == "pseudo-circular":
+        kwargs["fill_holes"] = config.fill_holes
+    return policy_class(capacity, name=name, **kwargs)
+
+
+class SharedCacheGroup(abc.ABC):
+    """N per-process cache views over one sharing policy."""
+
+    #: Human-readable description for reports.
+    name: str = "abstract-group"
+
+    def __init__(
+        self,
+        capacities: Sequence[int],
+        config: GenerationalConfig,
+        sharing: SharingConfig,
+    ) -> None:
+        if not capacities:
+            raise ConfigError("a cache group needs at least one process")
+        if any(cap < 3 for cap in capacities):
+            raise ConfigError(f"per-process capacities too small: {capacities}")
+        self.capacities = tuple(capacities)
+        self.config = config
+        self.sharing = sharing
+
+    @property
+    def n_processes(self) -> int:
+        return len(self.capacities)
+
+    @property
+    def total_capacity(self) -> int:
+        """Combined capacity across all caches in the group."""
+        return sum(cache.capacity for cache in self._iter_caches())
+
+    # -- abstract per-process operations --------------------------------
+
+    @abc.abstractmethod
+    def lookup(self, process: int, gid: int) -> str | None:
+        """Name of the cache serving *gid* for *process*, or None."""
+
+    @abc.abstractmethod
+    def on_hit(
+        self, process: int, gid: int, time: int, count: int, module_id: int
+    ) -> AccessOutcome:
+        """Notify the group of *count* hits by *process* at *time*."""
+
+    @abc.abstractmethod
+    def insert(
+        self, process: int, gid: int, size: int, module_id: int, time: int
+    ) -> InsertOutcome:
+        """Insert a trace *process* just (re)generated — or attach to
+        an identical shared copy without generating anything."""
+
+    @abc.abstractmethod
+    def unmap_module(
+        self, process: int, module_id: int, time: int
+    ) -> list[Effect]:
+        """*process* unmapped *module_id*: drop its claims; evict only
+        copies no process still maps."""
+
+    @abc.abstractmethod
+    def pin(self, process: int, gid: int) -> bool:
+        """Pin *gid* on behalf of *process*; True when found."""
+
+    @abc.abstractmethod
+    def unpin(self, process: int, gid: int) -> bool:
+        """Drop *process*'s pin claim on *gid*; True when found."""
+
+    @abc.abstractmethod
+    def check_invariants(self) -> None:
+        """Verify every cache and the cross-process bookkeeping."""
+
+    @abc.abstractmethod
+    def _iter_caches(self) -> Iterable[CodeCache]:
+        """Every physical cache arena in the group."""
+
+    # -- group-wide accounting ------------------------------------------
+
+    def resident_bytes(self) -> int:
+        """Physical bytes resident across the whole group."""
+        return sum(cache.used_bytes for cache in self._iter_caches())
+
+    def resident_copies(self) -> dict[int, int]:
+        """Physical copy count per resident gid (insertion order)."""
+        counts: dict[int, int] = {}
+        for cache in self._iter_caches():
+            for gid in cache.arena.trace_ids():
+                counts[gid] = counts.get(gid, 0) + 1
+        return counts
+
+    def duplicated_bytes(self, size_of: Callable[[int], int]) -> int:
+        """Bytes spent on redundant copies: for each content resident
+        more than once, every copy beyond the first."""
+        return sum(
+            (copies - 1) * size_of(gid)
+            for gid, copies in self.resident_copies().items()
+            if copies > 1
+        )
+
+
+def make_group(
+    capacities: Sequence[int],
+    config: GenerationalConfig,
+    sharing: SharingConfig,
+) -> SharedCacheGroup:
+    """Build the cache group *sharing* describes.
+
+    Raises:
+        ConfigError: for inconsistent policy/knob combinations.
+    """
+    if sharing.temperature and sharing.policy is not SharingPolicy.SHARED_PERSISTENT:
+        raise ConfigError(
+            "temperature promotion requires the shared-persistent policy "
+            f"(got {sharing.policy.value!r})"
+        )
+    if sharing.policy is SharingPolicy.PRIVATE:
+        return PrivateCacheGroup(capacities, config, sharing)
+    if sharing.policy is SharingPolicy.SHARED_ALL:
+        return SharedAllGroup(capacities, config, sharing)
+    return SharedPersistentGroup(capacities, config, sharing)
+
+
+# ----------------------------------------------------------------------
+# private: the replicated-paper baseline
+# ----------------------------------------------------------------------
+
+
+class PrivateCacheGroup(SharedCacheGroup):
+    """Every process owns a full generational hierarchy; no sharing."""
+
+    def __init__(
+        self,
+        capacities: Sequence[int],
+        config: GenerationalConfig,
+        sharing: SharingConfig,
+    ) -> None:
+        super().__init__(capacities, config, sharing)
+        self._managers = [
+            GenerationalCacheManager(cap, config) for cap in self.capacities
+        ]
+        self.name = f"group[private x{self.n_processes}]"
+
+    def lookup(self, process: int, gid: int) -> str | None:
+        return self._managers[process].lookup(gid)
+
+    def on_hit(
+        self, process: int, gid: int, time: int, count: int, module_id: int
+    ) -> AccessOutcome:
+        return self._managers[process].on_hit(gid, time, count)
+
+    def insert(
+        self, process: int, gid: int, size: int, module_id: int, time: int
+    ) -> InsertOutcome:
+        effects = self._managers[process].insert(gid, size, module_id, time)
+        return InsertOutcome(effects=effects, deduped=False)
+
+    def unmap_module(
+        self, process: int, module_id: int, time: int
+    ) -> list[Effect]:
+        return self._managers[process].unmap_module(module_id, time)
+
+    def pin(self, process: int, gid: int) -> bool:
+        return self._managers[process].pin(gid)
+
+    def unpin(self, process: int, gid: int) -> bool:
+        return self._managers[process].unpin(gid)
+
+    def check_invariants(self) -> None:
+        for manager in self._managers:
+            manager.check_invariants()
+
+    def _iter_caches(self) -> Iterable[CodeCache]:
+        for manager in self._managers:
+            yield from manager.caches()
+
+
+# ----------------------------------------------------------------------
+# shared-persistent: private churn, shared long-lived code
+# ----------------------------------------------------------------------
+
+
+class SharedPersistentGroup(SharedCacheGroup):
+    """Per-process nursery/probation over one shared persistent cache.
+
+    Each process keeps its configured nursery and probation fractions
+    of its own budget; the per-process persistent shares pool into one
+    :class:`SharedPersistentCache`, so total capacity equals the
+    private baseline exactly.
+    """
+
+    def __init__(
+        self,
+        capacities: Sequence[int],
+        config: GenerationalConfig,
+        sharing: SharingConfig,
+    ) -> None:
+        super().__init__(capacities, config, sharing)
+        self._nurseries: list[CodeCache] = []
+        self._probations: list[CodeCache] = []
+        shared_capacity = 0
+        for cap in self.capacities:
+            nursery_size, probation_size, persistent_size = config.sizes(cap)
+            self._nurseries.append(_make_cache(config, nursery_size, NURSERY))
+            self._probations.append(_make_cache(config, probation_size, PROBATION))
+            shared_capacity += persistent_size
+        self.shared = SharedPersistentCache(
+            _make_cache(config, shared_capacity, SHARED_PERSISTENT)
+        )
+        self._tracker = (
+            TemperatureTracker(
+                threshold=sharing.temperature_threshold,
+                half_life=sharing.temperature_half_life,
+            )
+            if sharing.temperature
+            else None
+        )
+        #: Pin claims on shared copies: gid -> claiming processes.
+        self._pin_claims: dict[int, set[int]] = {}
+        self.name = (
+            f"group[{sharing.label()} x{self.n_processes}, {config.label()}]"
+        )
+
+    # -- operations ------------------------------------------------------
+
+    def lookup(self, process: int, gid: int) -> str | None:
+        if gid in self._nurseries[process]:
+            return NURSERY
+        if gid in self._probations[process]:
+            return PROBATION
+        if self.shared.contains(gid):
+            return SHARED_PERSISTENT
+        return None
+
+    def on_hit(
+        self, process: int, gid: int, time: int, count: int, module_id: int
+    ) -> AccessOutcome:
+        if self._tracker is not None:
+            self._tracker.observe(gid, time, count)
+        nursery = self._nurseries[process]
+        if gid in nursery:
+            nursery.touch(gid, time, count)
+            return AccessOutcome(cache=NURSERY, effects=[])
+        probation = self._probations[process]
+        if gid in probation:
+            trace = probation.touch(gid, time, count)
+            effects: list[Effect] = []
+            if self._qualifies_on_hit(gid, trace, time) and not trace.pinned:
+                self._promote_to_shared(process, trace, probation, time, effects)
+            return AccessOutcome(cache=PROBATION, effects=effects)
+        if self.shared.contains(gid):
+            # A process may hit code it never compiled (or whose own
+            # copy already died): it links to the shared copy.
+            self.shared.attach(gid, process, module_id)
+            self.shared.touch(gid, time, count, process)
+            return AccessOutcome(cache=SHARED_PERSISTENT, effects=[])
+        raise KeyError(
+            f"on_hit called for trace {gid} not resident for process {process}"
+        )
+
+    def insert(
+        self, process: int, gid: int, size: int, module_id: int, time: int
+    ) -> InsertOutcome:
+        if self.shared.contains(gid):
+            # The dedup win: identical content is already shared, so
+            # the process attaches instead of generating code.
+            self.shared.attach(gid, process, module_id)
+            return InsertOutcome(effects=[], deduped=True)
+        effects: list[Effect] = []
+        self._insert_new_trace(process, gid, size, module_id, time, effects)
+        return InsertOutcome(effects=effects, deduped=False)
+
+    def unmap_module(
+        self, process: int, module_id: int, time: int
+    ) -> list[Effect]:
+        effects: list[Effect] = []
+        for cache in (self._nurseries[process], self._probations[process]):
+            for trace in cache.remove_module(module_id):
+                effects.append(
+                    Evicted(
+                        trace_id=trace.trace_id,
+                        size=trace.size,
+                        cache=cache.name,
+                        reason=EvictionReason.UNMAP,
+                    )
+                )
+        evicted, detached = self.shared.detach_module(process, module_id)
+        for gid in detached:
+            self._drop_pin_claim(process, gid)
+        for trace in evicted:
+            self._forget(trace.trace_id)
+            effects.append(
+                Evicted(
+                    trace_id=trace.trace_id,
+                    size=trace.size,
+                    cache=SHARED_PERSISTENT,
+                    reason=EvictionReason.UNMAP,
+                )
+            )
+        return effects
+
+    def pin(self, process: int, gid: int) -> bool:
+        for cache in (self._nurseries[process], self._probations[process]):
+            if gid in cache:
+                cache.pin(gid)
+                return True
+        if self.shared.contains(gid):
+            self._pin_claims.setdefault(gid, set()).add(process)
+            self.shared.pin(gid)
+            return True
+        return False
+
+    def unpin(self, process: int, gid: int) -> bool:
+        for cache in (self._nurseries[process], self._probations[process]):
+            if gid in cache:
+                cache.unpin(gid)
+                return True
+        if self.shared.contains(gid):
+            self._drop_pin_claim(process, gid)
+            return True
+        return False
+
+    def check_invariants(self) -> None:
+        self.shared.check_invariants()
+        for process in range(self.n_processes):
+            nursery = self._nurseries[process]
+            probation = self._probations[process]
+            nursery.check_invariants()
+            probation.check_invariants()
+            both = set(nursery.arena.trace_ids()) & set(
+                probation.arena.trace_ids()
+            )
+            if both:
+                raise InvariantViolation(
+                    "dual-residency",
+                    f"traces {sorted(both)} resident in process {process}'s "
+                    "nursery and probation",
+                    cache=NURSERY,
+                    trace_id=min(both),
+                )
+
+    def _iter_caches(self) -> Iterable[CodeCache]:
+        yield from self._nurseries
+        yield from self._probations
+        yield self.shared._cache
+
+    # -- internals -------------------------------------------------------
+
+    def _qualifies_on_hit(self, gid: int, trace: CachedTrace, time: int) -> bool:
+        if self._tracker is not None:
+            return self._tracker.is_hot(gid, time)
+        return (
+            self.config.promotion_mode is PromotionMode.ON_HIT
+            and trace.access_count >= self.config.promotion_threshold
+        )
+
+    def _qualifies_on_eviction(self, victim: CachedTrace, time: int) -> bool:
+        if self._tracker is not None:
+            return self._tracker.is_hot(victim.trace_id, time)
+        return (
+            self.config.promotion_mode is PromotionMode.ON_EVICTION
+            and victim.access_count >= self.config.promotion_threshold
+        )
+
+    def _insert_new_trace(
+        self,
+        process: int,
+        gid: int,
+        size: int,
+        module_id: int,
+        time: int,
+        effects: list[Effect],
+    ) -> None:
+        nursery = self._nurseries[process]
+        if size > nursery.capacity:
+            # Oversized-trace fallback, mirroring the generational
+            # manager: place directly in the largest cache that fits.
+            probation = self._probations[process]
+            if self.shared.capacity >= size and self.shared.capacity >= probation.capacity:
+                victims = self.shared.insert(gid, size, time, process, module_id)
+                effects.append(
+                    Inserted(trace_id=gid, size=size, cache=SHARED_PERSISTENT)
+                )
+                for victim in victims:
+                    self._forget(victim.trace_id)
+                    effects.append(
+                        Evicted(
+                            trace_id=victim.trace_id,
+                            size=victim.size,
+                            cache=SHARED_PERSISTENT,
+                            reason=EvictionReason.CAPACITY,
+                        )
+                    )
+                return
+            if probation.capacity >= size:
+                result = probation.insert(gid, size, module_id, time)
+                effects.append(Inserted(trace_id=gid, size=size, cache=PROBATION))
+                for victim in result.evicted:
+                    self._handle_probation_eviction(process, victim, time, effects)
+                return
+            return  # uncacheable: no cache will ever hold it
+        result = nursery.insert(gid, size, module_id, time)
+        effects.append(Inserted(trace_id=gid, size=size, cache=NURSERY))
+        for victim in result.evicted:
+            self._promote_to_probation(process, victim, time, effects)
+
+    def _promote_to_probation(
+        self,
+        process: int,
+        victim: CachedTrace,
+        time: int,
+        effects: list[Effect],
+    ) -> None:
+        nursery = self._nurseries[process]
+        probation = self._probations[process]
+        if victim.trace_id in nursery:
+            nursery.remove(victim.trace_id)
+        if victim.size > probation.capacity:
+            effects.append(
+                Evicted(
+                    trace_id=victim.trace_id,
+                    size=victim.size,
+                    cache=NURSERY,
+                    reason=EvictionReason.CAPACITY,
+                )
+            )
+            return
+        result = probation.insert(victim.trace_id, victim.size, victim.module_id, time)
+        if victim.pinned:
+            probation.pin(victim.trace_id)
+        effects.append(
+            Promoted(
+                trace_id=victim.trace_id,
+                size=victim.size,
+                src=NURSERY,
+                dst=PROBATION,
+            )
+        )
+        for displaced in result.evicted:
+            self._handle_probation_eviction(process, displaced, time, effects)
+
+    def _handle_probation_eviction(
+        self,
+        process: int,
+        victim: CachedTrace,
+        time: int,
+        effects: list[Effect],
+    ) -> None:
+        if self._qualifies_on_eviction(victim, time):
+            self._promote_to_shared(
+                process, victim, self._probations[process], time, effects
+            )
+        else:
+            effects.append(
+                Evicted(
+                    trace_id=victim.trace_id,
+                    size=victim.size,
+                    cache=PROBATION,
+                    reason=EvictionReason.CAPACITY,
+                )
+            )
+
+    def _promote_to_shared(
+        self,
+        process: int,
+        trace: CachedTrace,
+        src: CodeCache,
+        time: int,
+        effects: list[Effect],
+    ) -> None:
+        if trace.trace_id in src:
+            src.remove(trace.trace_id)
+        if self.shared.contains(trace.trace_id):
+            # Another process already graduated identical content: the
+            # local copy is dropped and the process attaches (a
+            # relocation-priced move, but no new shared bytes).
+            self.shared.attach(trace.trace_id, process, trace.module_id)
+            effects.append(
+                Promoted(
+                    trace_id=trace.trace_id,
+                    size=trace.size,
+                    src=src.name,
+                    dst=SHARED_PERSISTENT,
+                )
+            )
+            return
+        if trace.size > self.shared.capacity:
+            effects.append(
+                Evicted(
+                    trace_id=trace.trace_id,
+                    size=trace.size,
+                    cache=src.name,
+                    reason=EvictionReason.CAPACITY,
+                )
+            )
+            return
+        victims = self.shared.insert(
+            trace.trace_id, trace.size, time, process, trace.module_id
+        )
+        if trace.pinned:
+            self._pin_claims.setdefault(trace.trace_id, set()).add(process)
+            self.shared.pin(trace.trace_id)
+        effects.append(
+            Promoted(
+                trace_id=trace.trace_id,
+                size=trace.size,
+                src=src.name,
+                dst=SHARED_PERSISTENT,
+            )
+        )
+        for victim in victims:
+            self._forget(victim.trace_id)
+            effects.append(
+                Evicted(
+                    trace_id=victim.trace_id,
+                    size=victim.size,
+                    cache=SHARED_PERSISTENT,
+                    reason=EvictionReason.CAPACITY,
+                )
+            )
+
+    def _drop_pin_claim(self, process: int, gid: int) -> None:
+        claims = self._pin_claims.get(gid)
+        if claims is None:
+            return
+        claims.discard(process)
+        if not claims:
+            del self._pin_claims[gid]
+            if self.shared.contains(gid):
+                self.shared.unpin(gid)
+
+    def _forget(self, gid: int) -> None:
+        if self._tracker is not None:
+            self._tracker.forget(gid)
+        self._pin_claims.pop(gid, None)
+
+
+# ----------------------------------------------------------------------
+# shared-all: one hierarchy for everyone
+# ----------------------------------------------------------------------
+
+
+class SharedAllGroup(SharedCacheGroup):
+    """One generational hierarchy serves every process.
+
+    Maximum dedup (a trace exists at most once anywhere) and maximum
+    interference (everyone churns everyone's nursery).  Group-level
+    reference counting preserves the unmap contract: a trace dies on
+    unmap only when no process still maps its module.
+    """
+
+    def __init__(
+        self,
+        capacities: Sequence[int],
+        config: GenerationalConfig,
+        sharing: SharingConfig,
+    ) -> None:
+        super().__init__(capacities, config, sharing)
+        self._manager = GenerationalCacheManager(sum(capacities), config)
+        #: gid -> {process -> module id it maps the trace from}.
+        self._attachments: dict[int, dict[int, int]] = {}
+        self._pin_claims: dict[int, set[int]] = {}
+        self.name = f"group[shared-all x{self.n_processes}, {config.label()}]"
+
+    def lookup(self, process: int, gid: int) -> str | None:
+        return self._manager.lookup(gid)
+
+    def on_hit(
+        self, process: int, gid: int, time: int, count: int, module_id: int
+    ) -> AccessOutcome:
+        outcome = self._manager.on_hit(gid, time, count)
+        self._attachments.setdefault(gid, {})[process] = module_id
+        self._sync_attachments(outcome.effects)
+        return outcome
+
+    def insert(
+        self, process: int, gid: int, size: int, module_id: int, time: int
+    ) -> InsertOutcome:
+        if self._manager.lookup(gid) is not None:
+            self._attachments.setdefault(gid, {})[process] = module_id
+            return InsertOutcome(effects=[], deduped=True)
+        effects = self._manager.insert(gid, size, module_id, time)
+        if self._manager.lookup(gid) is not None:
+            self._attachments[gid] = {process: module_id}
+        self._sync_attachments(effects)
+        return InsertOutcome(effects=effects, deduped=False)
+
+    def unmap_module(
+        self, process: int, module_id: int, time: int
+    ) -> list[Effect]:
+        effects: list[Effect] = []
+        mine = [
+            gid
+            for gid, holders in self._attachments.items()
+            if holders.get(process) == module_id
+        ]
+        for gid in mine:
+            holders = self._attachments[gid]
+            del holders[process]
+            self._drop_pin_claim(process, gid)
+            if holders:
+                continue  # other processes still map this code
+            del self._attachments[gid]
+            for cache in self._manager.caches():
+                if gid in cache:
+                    trace = cache.remove(gid)
+                    effects.append(
+                        Evicted(
+                            trace_id=trace.trace_id,
+                            size=trace.size,
+                            cache=cache.name,
+                            reason=EvictionReason.UNMAP,
+                        )
+                    )
+                    break
+        return effects
+
+    def pin(self, process: int, gid: int) -> bool:
+        if not self._manager.pin(gid):
+            return False
+        self._pin_claims.setdefault(gid, set()).add(process)
+        return True
+
+    def unpin(self, process: int, gid: int) -> bool:
+        if self._manager.lookup(gid) is None:
+            return False
+        self._drop_pin_claim(process, gid)
+        return True
+
+    def check_invariants(self) -> None:
+        self._manager.check_invariants()
+        resident: set[int] = set()
+        for cache in self._manager.caches():
+            resident |= set(cache.arena.trace_ids())
+        attached = set(self._attachments)
+        if resident != attached:
+            raise InvariantViolation(
+                "shared-attachment",
+                f"residency/attachment disagree: resident-only="
+                f"{sorted(resident - attached)}, attached-only="
+                f"{sorted(attached - resident)}",
+                cache=self._manager.name,
+            )
+
+    def _iter_caches(self) -> Iterable[CodeCache]:
+        yield from self._manager.caches()
+
+    def _sync_attachments(self, effects: list[Effect]) -> None:
+        for effect in effects:
+            if isinstance(effect, Evicted):
+                self._attachments.pop(effect.trace_id, None)
+                self._pin_claims.pop(effect.trace_id, None)
+
+    def _drop_pin_claim(self, process: int, gid: int) -> None:
+        claims = self._pin_claims.get(gid)
+        if claims is None:
+            return
+        claims.discard(process)
+        if not claims:
+            del self._pin_claims[gid]
+            self._manager.unpin(gid)

@@ -306,3 +306,44 @@ class TestNoRawConcurrency:
     def test_suppressed(self):
         src = "import threading  # cachelint: disable=no-raw-concurrency\n"
         assert hits(src, "no-raw-concurrency") == []
+
+
+class TestSharedCacheApi:
+    def test_module_import_flagged(self):
+        assert hits("import repro.shared.cache\n", "shared-cache-api") == [
+            "shared-cache-api"
+        ]
+
+    def test_from_module_import_flagged(self):
+        src = "from repro.shared.cache import SHARED_PERSISTENT\n"
+        assert hits(src, "shared-cache-api") == ["shared-cache-api"]
+
+    def test_class_import_from_package_flagged(self):
+        src = "from repro.shared import SharedPersistentCache\n"
+        assert hits(src, "shared-cache-api") == ["shared-cache-api"]
+
+    def test_direct_construction_flagged(self):
+        src = "cache = SharedPersistentCache(arena)\n"
+        assert hits(src, "shared-cache-api") == ["shared-cache-api"]
+
+    def test_attribute_construction_flagged(self):
+        src = "cache = shared_mod.SharedPersistentCache(arena)\n"
+        assert hits(src, "shared-cache-api") == ["shared-cache-api"]
+
+    def test_shared_package_is_exempt(self):
+        src = "from repro.shared.cache import SharedPersistentCache\n"
+        assert (
+            hits(src, "shared-cache-api", path="src/repro/shared/manager.py")
+            == []
+        )
+
+    def test_group_manager_usage_is_fine(self):
+        src = "from repro.shared import make_group\ngroup = make_group(c, g, s)\n"
+        assert hits(src, "shared-cache-api") == []
+
+    def test_suppressed(self):
+        src = (
+            "import repro.shared.cache"
+            "  # cachelint: disable=shared-cache-api\n"
+        )
+        assert hits(src, "shared-cache-api") == []

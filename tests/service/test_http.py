@@ -9,7 +9,7 @@ import urllib.request
 
 import pytest
 
-from repro.errors import ServiceError
+from repro.errors import ConfigError, ServiceError
 from repro.service.client import ServiceClient
 from repro.service.http import make_server
 from repro.service.jobs import JobSpec, job_id
@@ -62,13 +62,15 @@ class TestEndpoints:
         assert client.metrics()["cache_hits"] == 1
 
     def test_invalid_spec_is_400(self, service):
+        # A rejected spec is the caller's configuration error (CLI exit
+        # code 2), not a service failure.
         client, _ = service
-        with pytest.raises(ServiceError, match="HTTP 400"):
+        with pytest.raises(ConfigError, match="HTTP 400"):
             client.submit({"kind": "experiment"})  # missing experiment_id
 
     def test_unknown_field_is_400(self, service):
         client, _ = service
-        with pytest.raises(ServiceError, match="HTTP 400"):
+        with pytest.raises(ConfigError, match="HTTP 400"):
             client.submit({**SPEC.to_dict(), "bogus": 1})
 
     def test_unknown_job_is_404(self, service):

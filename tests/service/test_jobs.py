@@ -14,11 +14,11 @@ class TestJobId:
         # Pinned reference addresses: if either changes, JOB_FORMAT
         # must be bumped or every existing store blob goes stale.
         assert job_id(JobSpec(kind="experiment", experiment_id="figure-9")) == (
-            "j90201737a98d6636c302de8cb84a364"
+            "j48b203337955c06d5602e6baa2011c5"
         )
         assert job_id(
             JobSpec(kind="sweep-point", benchmark="word", manager="unified")
-        ) == "j22bacbe52fe08c780bff86d1b9aac43"
+        ) == "j2cfc644c0e53060a99065bec7fadbf5"
 
     def test_equal_specs_equal_ids(self):
         a = JobSpec(kind="experiment", experiment_id="figure-1", seed=7)

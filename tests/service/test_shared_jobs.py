@@ -1,0 +1,152 @@
+"""shared-mix jobs: spec validation, execution, and fail-fast rejects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.service.jobs import JobSpec, job_id, spec_from_dict
+from repro.service.scheduler import FAILED, Scheduler
+from repro.service.workers import execute_job
+
+
+def _spec(**overrides) -> JobSpec:
+    fields = dict(
+        kind="shared-mix",
+        mix="homogeneous",
+        processes=2,
+        policy="shared-persistent",
+        scale_multiplier=16.0,
+    )
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+class TestSpecValidation:
+    def test_valid_spec_passes(self):
+        _spec().validate()
+
+    @pytest.mark.parametrize(
+        ("field", "value", "match"),
+        [
+            ("mix", "bimodal", "mix"),
+            ("mix", None, "mix"),
+            ("processes", 1, "processes"),
+            ("processes", None, "processes"),
+            ("policy", "shared-sometimes", "policy"),
+            ("policy", None, "policy"),
+            ("schedule", "fifo", "schedule"),
+            ("quantum", 0, "quantum"),
+        ],
+    )
+    def test_invalid_field_rejected(self, field, value, match):
+        with pytest.raises(ConfigError, match=match):
+            _spec(**{field: value}).validate()
+
+    def test_round_trips_through_dict(self):
+        spec = _spec(schedule="random", quantum=16, seed=7)
+        again = spec_from_dict(spec.to_dict())
+        assert again == spec
+        assert job_id(again) == job_id(spec)
+
+    def test_job_id_covers_shared_fields(self):
+        base = job_id(_spec())
+        assert job_id(_spec(policy="private")) != base
+        assert job_id(_spec(processes=4)) != base
+        assert job_id(_spec(mix="heterogeneous")) != base
+        assert job_id(_spec(quantum=8)) != base
+
+
+class TestExecution:
+    def test_execute_job_returns_cell_with_provenance(self):
+        spec = _spec(seed=11)
+        payload = execute_job(spec)
+        assert payload["kind"] == "shared-mix"
+        assert payload["seed"] == 11
+        assert payload["config_digest"] == job_id(spec)
+        cell = payload["result"]
+        assert cell["mix"] == "homogeneous"
+        assert cell["processes"] == 2
+        assert cell["policy"] == "shared-persistent"
+        assert cell["accesses"] > 0
+        assert 0.0 <= cell["miss_rate"] <= 1.0
+
+    def test_execute_job_rejects_invalid_spec(self):
+        with pytest.raises(ConfigError):
+            execute_job(_spec(policy="bogus"))
+
+
+def config_error_worker(slot: int, tasks, events) -> None:
+    """Rejects every job the way the real worker reports a bad spec."""
+    while True:
+        item = tasks.get()
+        if item is None:
+            return
+        jid, spec = item
+        events.put(("error", jid, "ConfigError: deterministic rejection"))
+
+
+def flaky_error_worker(slot: int, tasks, events) -> None:
+    """Reports a transient (non-config) error on every job."""
+    while True:
+        item = tasks.get()
+        if item is None:
+            return
+        jid, spec = item
+        events.put(("error", jid, "OSError: transient"))
+
+
+class TestFailFast:
+    def test_config_error_is_not_retried(self):
+        with Scheduler(
+            workers=1,
+            worker_target=config_error_worker,
+            max_retries=3,
+            backoff_base=0.01,
+        ) as scheduler:
+            record = scheduler.submit(_spec())
+            assert scheduler.wait([record.job_id], timeout=30)
+            assert record.state == FAILED
+            assert record.attempts == 1  # no retry burned on a bad spec
+            assert "ConfigError" in record.error
+            assert scheduler.metrics.retried == 0
+
+    def test_transient_error_still_retries(self):
+        with Scheduler(
+            workers=1,
+            worker_target=flaky_error_worker,
+            max_retries=2,
+            backoff_base=0.01,
+        ) as scheduler:
+            record = scheduler.submit(_spec())
+            assert scheduler.wait([record.job_id], timeout=30)
+            assert record.state == FAILED
+            assert record.attempts == 3  # initial try + both retries
+            assert scheduler.metrics.retried == 2
+
+
+class TestSubmitCli:
+    def test_unknown_policy_exits_2_before_any_request(self, capsys):
+        code = main(
+            [
+                "submit",
+                "--spec",
+                '{"kind": "shared-mix", "mix": "heterogeneous", '
+                '"processes": 2, "policy": "bogus"}',
+                "--server",
+                "http://127.0.0.1:1",  # would refuse the connection
+            ]
+        )
+        assert code == 2
+        assert "policy" in capsys.readouterr().err
+
+    def test_invalid_json_exits_2(self, capsys):
+        assert main(["submit", "--spec", "{not json"]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_spec_and_experiment_are_exclusive(self, capsys):
+        assert main(["submit", "figure-9", "--spec", "{}"]) == 2
+
+    def test_submit_without_target_exits_2(self, capsys):
+        assert main(["submit"]) == 2

@@ -1,0 +1,228 @@
+"""Cache groups: private / shared-persistent / shared-all behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GenerationalConfig
+from repro.core.effects import Evicted, EvictionReason, Promoted
+from repro.errors import ConfigError
+from repro.shared.cache import SHARED_PERSISTENT
+from repro.shared.manager import (
+    PrivateCacheGroup,
+    SharedAllGroup,
+    SharedPersistentGroup,
+    make_group,
+)
+from repro.shared.policy import (
+    SharingConfig,
+    SharingPolicy,
+    TemperatureTracker,
+    sharing_config_for,
+)
+
+#: Nursery holds two 100-byte traces; probation and persistent are
+#: roomy, so promotion flows are easy to drive deterministically.
+CONFIG = GenerationalConfig(
+    nursery_fraction=0.2, probation_fraction=0.4, persistent_fraction=0.4
+)
+
+CAPS = (1000, 1000)
+
+
+def _shared_group(**sharing_kwargs) -> SharedPersistentGroup:
+    sharing = SharingConfig(
+        policy=SharingPolicy.SHARED_PERSISTENT, **sharing_kwargs
+    )
+    return make_group(CAPS, CONFIG, sharing)
+
+
+def _graduate(group, process: int, gid: int, time: int) -> list:
+    """Drive *gid* from nursery to the shared persistent cache: fill
+    the nursery behind it, then hit it in probation (threshold 1)."""
+    group.insert(process, gid, 100, module_id=0, time=time)
+    group.insert(process, gid + 1000, 100, module_id=0, time=time + 1)
+    effects = group.insert(process, gid + 1001, 100, module_id=0, time=time + 2)
+    assert group.lookup(process, gid) == "probation", effects
+    outcome = group.on_hit(process, gid, time + 3, 1, module_id=0)
+    return outcome.effects
+
+
+class TestMakeGroup:
+    def test_policy_dispatch(self):
+        assert isinstance(
+            make_group(CAPS, CONFIG, sharing_config_for("private")),
+            PrivateCacheGroup,
+        )
+        assert isinstance(
+            make_group(CAPS, CONFIG, sharing_config_for("shared-persistent")),
+            SharedPersistentGroup,
+        )
+        assert isinstance(
+            make_group(CAPS, CONFIG, sharing_config_for("shared-all")),
+            SharedAllGroup,
+        )
+
+    def test_temperature_requires_shared_persistent(self):
+        sharing = SharingConfig(policy=SharingPolicy.PRIVATE, temperature=True)
+        with pytest.raises(ConfigError, match="temperature"):
+            make_group(CAPS, CONFIG, sharing)
+
+    def test_equal_total_capacity_across_policies(self):
+        totals = {
+            variant: make_group(
+                CAPS, CONFIG, sharing_config_for(variant)
+            ).total_capacity
+            for variant in ("private", "shared-persistent", "shared-all")
+        }
+        assert len(set(totals.values())) == 1, totals
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ConfigError):
+            make_group((), CONFIG, sharing_config_for("private"))
+
+
+class TestPrivateGroup:
+    def test_no_dedup_ever(self):
+        group = make_group(CAPS, CONFIG, sharing_config_for("private"))
+        first = group.insert(0, 7, 100, module_id=0, time=1)
+        second = group.insert(1, 7, 100, module_id=0, time=2)
+        assert not first.deduped and not second.deduped
+        assert group.resident_copies()[7] == 2
+        assert group.duplicated_bytes(lambda gid: 100) == 100
+        group.check_invariants()
+
+
+class TestSharedPersistentGroup:
+    def test_promotion_reaches_shared_cache(self):
+        group = _shared_group()
+        effects = _graduate(group, process=0, gid=7, time=10)
+        promoted = [e for e in effects if isinstance(e, Promoted)]
+        assert [e.dst for e in promoted] == [SHARED_PERSISTENT]
+        assert group.lookup(0, 7) == SHARED_PERSISTENT
+        group.check_invariants()
+
+    def test_insert_dedups_against_shared_copy(self):
+        group = _shared_group()
+        _graduate(group, process=0, gid=7, time=10)
+        outcome = group.insert(1, 7, 100, module_id=3, time=50)
+        assert outcome.deduped and outcome.effects == []
+        assert group.shared.processes_of(7) == (0, 1)
+        # One physical copy: nothing duplicated anywhere in the group.
+        assert group.resident_copies()[7] == 1
+
+    def test_hit_on_foreign_shared_copy_attaches(self):
+        group = _shared_group()
+        _graduate(group, process=0, gid=7, time=10)
+        outcome = group.on_hit(1, 7, 60, 2, module_id=3)
+        assert outcome.cache == SHARED_PERSISTENT
+        assert group.shared.processes_of(7) == (0, 1)
+        assert group.shared.hits_by_process[1] == 2
+
+    def test_unmap_waits_for_last_sharer(self):
+        group = _shared_group()
+        _graduate(group, process=0, gid=7, time=10)
+        group.insert(1, 7, 100, module_id=0, time=50)  # dedup attach
+
+        effects = group.unmap_module(0, module_id=0, time=60)
+        assert all(
+            not (isinstance(e, Evicted) and e.trace_id == 7) for e in effects
+        )
+        assert group.lookup(1, 7) == SHARED_PERSISTENT
+
+        effects = group.unmap_module(1, module_id=0, time=70)
+        evictions = [
+            e for e in effects if isinstance(e, Evicted) and e.trace_id == 7
+        ]
+        assert len(evictions) == 1
+        assert evictions[0].reason is EvictionReason.UNMAP
+        assert group.lookup(0, 7) is None and group.lookup(1, 7) is None
+        group.check_invariants()
+
+    def test_shared_pin_claims_are_refcounted(self):
+        group = _shared_group()
+        _graduate(group, process=0, gid=7, time=10)
+        group.insert(1, 7, 100, module_id=0, time=50)
+        assert group.pin(0, 7) and group.pin(1, 7)
+        assert group.shared.trace(7).pinned
+
+        group.unpin(0, 7)
+        assert group.shared.trace(7).pinned  # process 1 still claims it
+        group.unpin(1, 7)
+        assert not group.shared.trace(7).pinned
+
+    def test_unmap_drops_that_processs_pin_claim(self):
+        group = _shared_group()
+        _graduate(group, process=0, gid=7, time=10)
+        group.insert(1, 7, 100, module_id=0, time=50)
+        group.pin(0, 7)
+        group.unmap_module(0, module_id=0, time=60)
+        # Process 0 is gone, and so is its pin claim.
+        assert not group.shared.trace(7).pinned
+
+    def test_pin_miss_returns_false(self):
+        group = _shared_group()
+        assert not group.pin(0, 99)
+        assert not group.unpin(0, 99)
+
+
+class TestTemperaturePromotion:
+    def test_cold_trace_is_not_promoted(self):
+        group = _shared_group(
+            temperature=True, temperature_threshold=2.5,
+            temperature_half_life=1_000_000,
+        )
+        group.insert(0, 7, 100, module_id=0, time=1)
+        group.insert(0, 8, 100, module_id=0, time=2)
+        group.insert(0, 9, 100, module_id=0, time=3)
+        assert group.lookup(0, 7) == "probation"
+        # Two hits leave the temperature at ~2 < 2.5: stays in probation
+        # (the fixed threshold 1 would already have promoted it).
+        group.on_hit(0, 7, 10, 1, module_id=0)
+        group.on_hit(0, 7, 11, 1, module_id=0)
+        assert group.lookup(0, 7) == "probation"
+        group.on_hit(0, 7, 12, 1, module_id=0)
+        assert group.lookup(0, 7) == SHARED_PERSISTENT
+
+    def test_tracker_decay_halves_per_half_life(self):
+        tracker = TemperatureTracker(threshold=2.0, half_life=100)
+        tracker.observe(1, time=0, count=4)
+        assert tracker.temperature(1, time=0) == pytest.approx(4.0)
+        assert tracker.temperature(1, time=100) == pytest.approx(2.0)
+        assert tracker.temperature(1, time=200) == pytest.approx(1.0)
+        assert tracker.is_hot(1, time=100)
+        assert not tracker.is_hot(1, time=201)
+        tracker.forget(1)
+        assert tracker.temperature(1, time=0) == 0.0
+
+
+class TestSharedAllGroup:
+    def test_second_create_dedups(self):
+        group = make_group(CAPS, CONFIG, sharing_config_for("shared-all"))
+        first = group.insert(0, 7, 100, module_id=0, time=1)
+        second = group.insert(1, 7, 100, module_id=0, time=2)
+        assert not first.deduped and second.deduped
+        assert group.resident_copies()[7] == 1
+        assert group.duplicated_bytes(lambda gid: 100) == 0
+        group.check_invariants()
+
+    def test_unmap_refcounting(self):
+        group = make_group(CAPS, CONFIG, sharing_config_for("shared-all"))
+        group.insert(0, 7, 100, module_id=0, time=1)
+        group.insert(1, 7, 100, module_id=0, time=2)
+
+        assert group.unmap_module(0, module_id=0, time=3) == []
+        assert group.lookup(1, 7) is not None
+
+        effects = group.unmap_module(1, module_id=0, time=4)
+        assert [e.trace_id for e in effects if isinstance(e, Evicted)] == [7]
+        assert group.lookup(0, 7) is None
+        group.check_invariants()
+
+    def test_pin_claims_are_refcounted(self):
+        group = make_group(CAPS, CONFIG, sharing_config_for("shared-all"))
+        group.insert(0, 7, 100, module_id=0, time=1)
+        assert group.pin(0, 7) and group.pin(1, 7)
+        group.unpin(0, 7)
+        group.unpin(1, 7)
+        group.check_invariants()

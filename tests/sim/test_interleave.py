@@ -1,0 +1,89 @@
+"""Deterministic multi-process log interleaving."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.interleave import DEFAULT_QUANTUM, SCHEDULES, interleave_logs
+from repro.tracelog.records import EndOfLog, TraceAccess, TraceCreate, TraceLog
+
+
+def _log(name: str, n_records: int, stride: int = 10) -> TraceLog:
+    log = TraceLog(benchmark=name, duration_seconds=1.0, code_footprint=1000)
+    log.append(TraceCreate(time=0, trace_id=0, size=50, module_id=0))
+    for i in range(1, n_records):
+        log.append(TraceAccess(time=i * stride, trace_id=0))
+    log.append(EndOfLog(time=n_records * stride))
+    return log
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    def test_every_record_appears_exactly_once(self, schedule):
+        logs = [_log("a", 13), _log("b", 5), _log("c", 29)]
+        scheduled = list(interleave_logs(logs, schedule=schedule, seed=3))
+        assert len(scheduled) == sum(len(log.records) for log in logs)
+        for process, log in enumerate(logs):
+            mine = [s.record for s in scheduled if s.process == process]
+            assert mine == log.records  # per-process order preserved
+
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    def test_global_time_is_monotone(self, schedule):
+        logs = [_log("a", 20, stride=7), _log("b", 20, stride=13)]
+        times = [
+            s.global_time
+            for s in interleave_logs(logs, schedule=schedule, seed=5)
+        ]
+        assert times == sorted(times)
+
+    def test_single_log_passthrough(self):
+        log = _log("solo", 8)
+        scheduled = list(interleave_logs([log]))
+        assert [s.record for s in scheduled] == log.records
+        assert all(s.process == 0 for s in scheduled)
+        # One process: global time equals the log's own clock.
+        assert scheduled[-1].global_time == log.records[-1].time
+
+
+class TestDeterminism:
+    def test_round_robin_alternates_by_quantum(self):
+        logs = [_log("a", 10), _log("b", 10)]
+        scheduled = list(interleave_logs(logs, quantum=3))
+        assert [s.process for s in scheduled[:6]] == [0, 0, 0, 1, 1, 1]
+
+    def test_random_schedule_is_seed_reproducible(self):
+        logs = [_log("a", 30), _log("b", 30), _log("c", 30)]
+
+        def order(seed):
+            return [
+                s.process
+                for s in interleave_logs(
+                    logs, schedule="random", seed=seed, quantum=4
+                )
+            ]
+
+        assert order(1) == order(1)
+        assert order(1) != order(2)  # seed actually matters
+
+    def test_exhausted_logs_drop_out(self):
+        logs = [_log("short", 2), _log("long", 40)]
+        tail = list(interleave_logs(logs, quantum=4))[-20:]
+        assert all(s.process == 1 for s in tail)
+
+
+class TestValidation:
+    def test_unknown_schedule(self):
+        with pytest.raises(ConfigError, match="schedule"):
+            next(interleave_logs([_log("a", 3)], schedule="fifo"))
+
+    def test_empty_log_list(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            next(interleave_logs([]))
+
+    def test_non_positive_quantum(self):
+        with pytest.raises(ConfigError, match="quantum"):
+            next(interleave_logs([_log("a", 3)], quantum=0))
+
+    def test_default_quantum_is_positive(self):
+        assert DEFAULT_QUANTUM >= 1
