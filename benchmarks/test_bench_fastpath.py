@@ -1,0 +1,130 @@
+"""Benchmarks of the compiled replay fast path.
+
+For each benchmark log, replay the unified baseline and the Figure 9
+generational layouts twice — once on the object path (per-record
+dispatch) and once on the compiled fast path — asserting the results
+are identical and measuring the speedup.
+
+Besides the pytest-benchmark timings, the module writes
+``benchmarks/results/BENCH_fastpath.json``: per-bench wall times,
+replayed events/second, and the fast-over-object speedup.  The CI
+perf-smoke job parses that file and enforces the speedup floor (the
+in-test assertion is deliberately softer, so a loaded laptop doesn't
+flake the suite).
+
+Set ``REPRO_BENCH_QUICK=1`` to shrink to two benchmarks and two
+configs (what CI runs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+from conftest import EVALUATION_SCALE, RESULTS_DIR, run_once
+
+from repro.cachesim.simulator import CacheSimulator
+from repro.core.config import FIGURE9_CONFIGS
+from repro.core.generational import GenerationalCacheManager
+from repro.core.unified import UnifiedCacheManager
+from repro.experiments.dataset import WorkloadDataset
+from repro.experiments.evaluation import baseline_capacity
+from repro.fastpath import FASTPATH_TOTALS, object_path
+from repro.fastpath.artifacts import ARTIFACT_TOTALS
+from repro.overhead.model import TABLE2_COSTS
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+BENCHES = ["gzip", "word"] if QUICK else ["gzip", "crafty", "word", "iexplore"]
+CONFIGS = FIGURE9_CONFIGS[:2] if QUICK else FIGURE9_CONFIGS
+
+#: Per-bench measurements accumulated across tests, flushed to JSON by
+#: the final test in this module.
+_REPORT: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return WorkloadDataset(
+        seed=42, scale_multiplier=EVALUATION_SCALE, subset=BENCHES
+    )
+
+
+def _managers(capacity):
+    yield UnifiedCacheManager(capacity)
+    for config in CONFIGS:
+        yield GenerationalCacheManager(capacity, config)
+
+
+def _replay_all(dataset, name, fast):
+    """Replay every config over one benchmark; return results and the
+    wall time of the replays alone (logs already materialized)."""
+    capacity = baseline_capacity(dataset.stats(name).total_trace_bytes)
+    log = dataset.compiled(name) if fast else dataset.log(name)
+    results = []
+    started = time.perf_counter()
+    if fast:
+        for manager in _managers(capacity):
+            results.append(CacheSimulator(manager, TABLE2_COSTS).run(log))
+    else:
+        with object_path():
+            for manager in _managers(capacity):
+                results.append(CacheSimulator(manager, TABLE2_COSTS).run(log))
+    return results, time.perf_counter() - started
+
+
+@pytest.mark.parametrize("name", BENCHES)
+def test_bench_fastpath_replay(benchmark, dataset, name):
+    """Fast-path replay of one benchmark across all configs, checked
+    result-for-result against the object path."""
+    object_results, object_seconds = _replay_all(dataset, name, fast=False)
+    fast_results, fast_seconds = run_once(benchmark, _replay_all, dataset, name, fast=True)
+    for obj, fast in zip(object_results, fast_results):
+        assert obj.stats == fast.stats
+        assert obj.overhead_instructions == fast.overhead_instructions
+        assert obj.final_fragmentation == fast.final_fragmentation
+        assert obj.final_occupancy == fast.final_occupancy
+    compiled = dataset.compiled(name)
+    replays = 1 + len(CONFIGS)
+    _REPORT[name] = {
+        "records": len(compiled) * replays,
+        "accesses": compiled.n_accesses * replays,
+        "configs": replays,
+        "object_seconds": round(object_seconds, 6),
+        "fast_seconds": round(fast_seconds, 6),
+        "speedup": round(object_seconds / fast_seconds, 3),
+        "events_per_second": round(len(compiled) * replays / fast_seconds),
+    }
+    # Soft floor; the CI perf-smoke job enforces the real one from the
+    # emitted JSON, aggregated over every bench.
+    assert fast_seconds < object_seconds
+
+
+def test_bench_fastpath_report(dataset):
+    """Aggregate the per-bench measurements into BENCH_fastpath.json."""
+    assert set(_REPORT) == set(BENCHES), "run the full module, not one test"
+    object_total = sum(r["object_seconds"] for r in _REPORT.values())
+    fast_total = sum(r["fast_seconds"] for r in _REPORT.values())
+    report = {
+        "quick": QUICK,
+        "scale_multiplier": EVALUATION_SCALE,
+        "configs": 1 + len(CONFIGS),
+        "benches": _REPORT,
+        "total": {
+            "object_seconds": round(object_total, 6),
+            "fast_seconds": round(fast_total, 6),
+            "speedup": round(object_total / fast_total, 3),
+        },
+        "fastpath_totals": dict(FASTPATH_TOTALS),
+        "artifact_totals": dict(ARTIFACT_TOTALS),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    target = RESULTS_DIR / "BENCH_fastpath.json"
+    target.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print()
+    print(json.dumps(report["total"], sort_keys=True))
+    assert report["total"]["speedup"] > 1.5

@@ -65,12 +65,14 @@ class NoNondeterminismRule(Rule):
         "hash(); route randomness through repro.rand"
     )
     severity = Severity.ERROR
-    # scheduler.py and client.py legitimately consume wall-clock time
-    # (timeouts, backoff, polling); they never touch simulated state.
+    # scheduler.py, client.py and profiling.py legitimately consume
+    # wall-clock time (timeouts, backoff, polling, phase timings); they
+    # never touch simulated state.
     exempt_paths = (
         "*repro/rand.py",
         "*repro/service/scheduler.py",
         "*repro/service/client.py",
+        "*repro/fastpath/profiling.py",
     )
 
     def visit_Import(self, ctx: FileContext, node: ast.Import) -> None:
@@ -288,6 +290,64 @@ class SharedCacheApiRule(Rule):
                 node,
                 "direct SharedPersistentCache construction outside "
                 "repro.shared; use make_group",
+            )
+
+
+@register
+class FastpathApiRule(Rule):
+    """The packed-column internals of the replay fast path stay inside
+    :mod:`repro.fastpath` (plus the sanctioned RTL2 codec): replay
+    correctness depends on every column writer keeping the six arrays
+    in lockstep, so other layers go through the package root's public
+    surface (``compile_log``, ``ensure_compiled``, the row iterators)
+    and never build or pick apart a :class:`CompiledTraceLog` by
+    hand."""
+
+    rule_id = "fastpath-api"
+    description = (
+        "repro.fastpath.compiled/replay imports and direct "
+        "CompiledTraceLog construction are confined to repro.fastpath; "
+        "other layers use the package-root API"
+    )
+    severity = Severity.ERROR
+    # binary.py decodes straight into packed columns (the sanctioned
+    # serialization fast path), so it may construct the class.
+    exempt_paths = ("*repro/fastpath/*", "*repro/tracelog/binary.py")
+
+    _INTERNAL_MODULES = ("repro.fastpath.compiled", "repro.fastpath.replay")
+
+    def visit_Import(self, ctx: FileContext, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name in self._INTERNAL_MODULES:
+                ctx.report(
+                    self,
+                    node,
+                    f"import of {alias.name} outside repro.fastpath; "
+                    "use the repro.fastpath package-root API",
+                )
+
+    def visit_ImportFrom(self, ctx: FileContext, node: ast.ImportFrom) -> None:
+        if node.level == 0 and (node.module or "") in self._INTERNAL_MODULES:
+            ctx.report(
+                self,
+                node,
+                f"import from {node.module} outside repro.fastpath; "
+                "use the repro.fastpath package-root API",
+            )
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name == "CompiledTraceLog":
+            ctx.report(
+                self,
+                node,
+                "direct CompiledTraceLog construction outside "
+                "repro.fastpath; use compile_log/ensure_compiled",
             )
 
 

@@ -173,11 +173,22 @@ class Arena:
             )
         if trace_id in self._by_trace:
             raise DuplicateTraceError(f"trace {trace_id} is already placed")
-        clash = self.overlapping(start, start + size)
-        if clash:
+        # Overlap can only come from the nearest placement on either
+        # side, so two bisect probes replace a full window scan (this
+        # runs on every insertion).
+        starts = self._starts
+        index = bisect_right(starts, start)
+        clash = None
+        if index > 0:
+            before = self._by_start[starts[index - 1]]
+            if before.end > start:
+                clash = before
+        if clash is None and index < len(starts) and starts[index] < start + size:
+            clash = self._by_start[starts[index]]
+        if clash is not None:
             raise ArenaOverlapError(
                 f"trace {trace_id}: [{start}, {start + size}) overlaps "
-                f"trace {clash[0].trace_id} at [{clash[0].start}, {clash[0].end})"
+                f"trace {clash.trace_id} at [{clash.start}, {clash.end})"
             )
         placement = Placement(trace_id=trace_id, start=start, size=size)
         insort(self._starts, start)

@@ -26,6 +26,13 @@ from typing import TYPE_CHECKING
 from repro.cachesim.stats import CacheStats, SimulationResult
 from repro.core.effects import Effect, Evicted, EvictionReason, Promoted
 from repro.errors import LogFormatError
+from repro.fastpath import (
+    FASTPATH_TOTALS,
+    CompiledTraceLog,
+    ensure_compiled,
+    fastpath_enabled,
+    replay_compiled,
+)
 from repro.overhead.accounting import OverheadAccount
 from repro.overhead.model import CostModel
 from repro.tracelog.records import (
@@ -159,9 +166,29 @@ class CacheSimulator:
     # Driving
     # ------------------------------------------------------------------
 
-    def run(self, log: TraceLog) -> SimulationResult:
-        """Replay the whole log and return the result bundle."""
-        for record in log.records:
+    def run(self, log: TraceLog | CompiledTraceLog) -> SimulationResult:
+        """Replay the whole log and return the result bundle.
+
+        Accepts either representation.  When the manager declares
+        :attr:`~repro.core.manager.CacheManager.fastpath_safe`, no
+        sanitizer is attached, and the fast path is enabled, the log is
+        compiled (a one-time pass, free if already compiled) and driven
+        through the batched loop; the result is byte-identical to the
+        object path's.  With a sanitizer attached, the object path runs
+        unconditionally — sanitizers observe per-record events.
+        """
+        if (
+            self.sanitizer is None
+            and self.manager.fastpath_safe
+            and fastpath_enabled()
+        ):
+            replay_compiled(self, ensure_compiled(log))
+            return self._finish(log)
+        FASTPATH_TOTALS["object_replays"] += 1
+        records = (
+            log.iter_records() if isinstance(log, CompiledTraceLog) else log.records
+        )
+        for record in records:
             if isinstance(record, TraceAccess):
                 self.on_access(record)
             elif isinstance(record, TraceCreate):
@@ -178,6 +205,10 @@ class CacheSimulator:
                 self.sanitizer.observe_event(record)
         if self.sanitizer:
             self.sanitizer.final_check()
+        return self._finish(log)
+
+    def _finish(self, log: TraceLog | CompiledTraceLog) -> SimulationResult:
+        """Common result assembly for both replay paths."""
         self.stats.check_invariants()
         return SimulationResult(
             benchmark=log.benchmark,
@@ -217,7 +248,7 @@ class CacheSimulator:
 
 
 def simulate_log(
-    log: TraceLog,
+    log: TraceLog | CompiledTraceLog,
     manager: CacheManager,
     cost_model: CostModel | None = None,
     sanitizer: SanitizerHarness | None = None,

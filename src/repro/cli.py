@@ -7,6 +7,7 @@ Examples::
     repro-gencache run all --quick --jobs 4  # same, over a worker pool
     repro-gencache sweep word --jobs 8       # Section 6.1 sweep, parallel
     repro-gencache record gzip out.log       # synthesize + save a log
+    repro-gencache profile figure-9 --quick  # cProfile + phase-timing JSON
 
     repro-gencache serve --port 8350         # start the simulation service
     repro-gencache submit figure-9 --quick   # run a job over HTTP
@@ -229,6 +230,37 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    _validate_experiment_ids((args.experiment,))
+    _validate_scale(args)
+    # Imported lazily: cProfile/pstats stay out of ordinary runs.
+    from repro.fastpath.profiling import profile_experiment
+
+    subset = quick_subset() if args.quick else None
+    out_dir = os.path.expanduser(args.out)
+    os.makedirs(out_dir, exist_ok=True)
+    profile_path = os.path.join(out_dir, f"profile_{args.experiment}.prof")
+    report = profile_experiment(
+        args.experiment,
+        seed=args.seed,
+        scale_multiplier=args.scale,
+        subset=subset,
+        sweep_benchmark=args.sweep_benchmark,
+        top=args.top,
+        profile_path=profile_path,
+    )
+    timing_path = os.path.join(out_dir, f"profile_{args.experiment}.json")
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    with open(timing_path, "w", encoding="utf-8") as stream:
+        stream.write(rendered + "\n")
+    print(rendered)
+    print(
+        f"profile: {profile_path} (pstats), {timing_path} (timing JSON)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_record(args: argparse.Namespace) -> int:
     _validate_scale(args, allow_zero=True)
     profile = get_profile(args.benchmark)
@@ -438,6 +470,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_sanitize_flags(sweep_parser)
 
+    profile_parser = sub.add_parser(
+        "profile",
+        help="run one experiment under cProfile; emit phase-timing JSON",
+    )
+    profile_parser.add_argument("experiment", help="experiment id")
+    profile_parser.add_argument("--seed", type=int, default=42)
+    profile_parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="extra scale divisor on top of profile defaults",
+    )
+    profile_parser.add_argument(
+        "--quick", action="store_true",
+        help="use the 8-benchmark representative subset",
+    )
+    profile_parser.add_argument(
+        "--sweep-benchmark", default="word", metavar="NAME",
+        help="benchmark for the sweep/capacity experiments",
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="functions to include in the timing JSON (default: 15)",
+    )
+    profile_parser.add_argument(
+        "--out", default=".", metavar="DIR",
+        help="directory for the .prof and .json outputs (default: .)",
+    )
+
     record_parser = sub.add_parser("record", help="synthesize and save a log")
     record_parser.add_argument("benchmark")
     record_parser.add_argument("output")
@@ -521,6 +580,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "profile": _cmd_profile,
         "record": _cmd_record,
         "serve": _cmd_serve,
         "submit": _cmd_submit,

@@ -44,6 +44,10 @@ PERSISTENT = "persistent"
 class GenerationalCacheManager(CacheManager):
     """Nursery / probation / persistent hierarchy."""
 
+    # Every residency change (insert cascades, promotions, unmaps)
+    # emits its effect, so the effect stream is complete.
+    fastpath_safe = True
+
     def __init__(self, total_capacity: int, config: GenerationalConfig) -> None:
         policy_class = POLICIES.get(config.local_policy)
         if policy_class is None:
@@ -64,6 +68,14 @@ class GenerationalCacheManager(CacheManager):
         )
         self.config = config
         self.name = f"generational[{config.label()}]"
+        self._by_name = {
+            NURSERY: self.nursery,
+            PROBATION: self.probation,
+            PERSISTENT: self.persistent,
+        }
+        # Hoisted for the per-hit fast path.
+        self._promote_on_hit = config.promotion_mode is PromotionMode.ON_HIT
+        self._threshold = config.promotion_threshold
 
     def caches(self) -> list[CodeCache]:
         return [self.nursery, self.probation, self.persistent]
@@ -89,6 +101,54 @@ class GenerationalCacheManager(CacheManager):
                     self._promote(trace, self.probation, self.persistent, time, effects)
                 return AccessOutcome(cache=cache.name, effects=effects)
         raise KeyError(f"on_hit called for non-resident trace {trace_id}")
+
+    def hit_resident(
+        self, trace_id: int, time: int, count: int, cache_name: str
+    ) -> list[Effect] | tuple[()]:
+        """:meth:`on_hit` minus the residency scan — *cache_name* comes
+        from the fast path's effect-derived residency map."""
+        cache = self._by_name[cache_name]
+        trace = cache.touch_resident(trace_id, time, count)
+        if (
+            self._promote_on_hit
+            and cache is self.probation
+            and trace.access_count >= self._threshold
+            and not trace.pinned
+        ):
+            effects: list[Effect] = []
+            self._promote(trace, self.probation, self.persistent, time, effects)
+            return effects
+        return ()
+
+    def hit_handler(self, cache_name: str):
+        cache = self._by_name[cache_name]
+        if cache is self.probation and self._promote_on_hit:
+            return self._probation_hit
+        # Nursery/persistent hits never emit effects, and neither do
+        # probation hits under on-eviction promotion.
+        return cache.record_hits
+
+    def plain_hit_caches(self) -> frozenset[str]:
+        plain = {
+            cache.name
+            for cache in (self.nursery, self.persistent)
+            if cache.plain_touch
+        }
+        # Probation hits stay plain only under on-eviction promotion;
+        # on-hit mode must run the threshold check on every hit.
+        if self.probation.plain_touch and not self._promote_on_hit:
+            plain.add(PROBATION)
+        return frozenset(plain)
+
+    def _probation_hit(self, trace_id: int, time: int, count: int):
+        """Probation hit handler under on-hit promotion: touch, then
+        relocate to the persistent cache once the threshold is met."""
+        trace = self.probation.touch_resident(trace_id, time, count)
+        if trace.access_count >= self._threshold and not trace.pinned:
+            effects: list[Effect] = []
+            self._promote(trace, self.probation, self.persistent, time, effects)
+            return effects
+        return ()
 
     # ------------------------------------------------------------------
     # Insertions (Figure 8)

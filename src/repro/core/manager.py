@@ -40,6 +40,15 @@ class CacheManager(abc.ABC):
     #: Human-readable manager description for reports.
     name: str = "abstract"
 
+    #: Whether the compiled replay fast path may drive this manager.
+    #:
+    #: The fast path tracks residency purely from the effect stream, so
+    #: it is only sound when *every* residency change the manager makes
+    #: is reported as an :class:`Inserted`, :class:`Evicted`, or
+    #: :class:`Promoted` effect.  Subclasses honouring that contract
+    #: set this True; anything else replays on the object path.
+    fastpath_safe: bool = False
+
     @abc.abstractmethod
     def caches(self) -> list[CodeCache]:
         """The managed caches, most-junior first."""
@@ -60,6 +69,42 @@ class CacheManager(abc.ABC):
     def on_hit(self, trace_id: int, time: int, count: int = 1) -> AccessOutcome:
         """Notify the manager that a resident trace was entered
         *count* consecutive times starting at *time*."""
+
+    def hit_resident(
+        self, trace_id: int, time: int, count: int, cache_name: str
+    ) -> list[Effect] | tuple[()]:
+        """Fast-path hit hook: like :meth:`on_hit`, but the caller
+        already knows the trace is resident in *cache_name* (from the
+        effect stream), so the implementation can skip the cache scan
+        and the :class:`AccessOutcome` allocation.  Returns only the
+        effect list (often the shared empty tuple).
+        """
+        return self.on_hit(trace_id, time, count).effects
+
+    def hit_handler(self, cache_name: str):
+        """Return the fast path's bound hit callable for *cache_name*:
+        ``(trace_id, time, count) -> effects``.
+
+        The replay loop resolves one handler per cache up front and
+        calls it directly on every resident access, skipping the
+        per-hit method dispatch.  Subclasses return the leanest
+        callable that preserves :meth:`on_hit` semantics for hits
+        served by that cache.
+        """
+
+        def handler(trace_id: int, time: int, count: int):
+            return self.hit_resident(trace_id, time, count, cache_name)
+
+        return handler
+
+    def plain_hit_caches(self) -> frozenset[str]:
+        """Names of caches whose hits are *plain*: no effects, no
+        promotion checks, and a :attr:`~repro.policies.base.CodeCache.plain_touch`
+        local policy.  The replay fast path inlines those hits —
+        mutating the trace record directly — so only declare a cache
+        here if a hit served by it is exactly a plain touch.
+        """
+        return frozenset()
 
     @abc.abstractmethod
     def insert(

@@ -26,6 +26,10 @@ from repro.policies.flush import PreemptiveFlushCache
 class UnifiedCacheManager(CacheManager):
     """One code cache under one local policy."""
 
+    # Every residency change goes through insert/unmap, which report
+    # all victims, so the effect stream is complete.
+    fastpath_safe = True
+
     def __init__(
         self,
         capacity: int,
@@ -52,6 +56,22 @@ class UnifiedCacheManager(CacheManager):
     def on_hit(self, trace_id: int, time: int, count: int = 1) -> AccessOutcome:
         self._cache.touch(trace_id, time, count)
         return AccessOutcome(cache=self._cache.name, effects=[])
+
+    def hit_resident(
+        self, trace_id: int, time: int, count: int, cache_name: str
+    ) -> tuple[()]:
+        self._cache.touch_resident(trace_id, time, count)
+        return ()
+
+    def hit_handler(self, cache_name: str):
+        # Unified hits never emit effects: hand the cache's flat
+        # touch-and-return-no-effects method straight to the loop.
+        return self._cache.record_hits
+
+    def plain_hit_caches(self) -> frozenset[str]:
+        if self._cache.plain_touch:
+            return frozenset((self._cache.name,))
+        return frozenset()
 
     def insert(
         self, trace_id: int, size: int, module_id: int, time: int

@@ -34,7 +34,7 @@ def run(
     dataset = dataset or WorkloadDataset(
         seed=seed, scale_multiplier=scale_multiplier, subset=[benchmark]
     )
-    log = dataset.log(benchmark)
+    log = dataset.compiled(benchmark)
     max_cache = dataset.stats(benchmark).total_trace_bytes
     result = ExperimentResult(
         experiment_id="capacity-sensitivity",

@@ -4,10 +4,21 @@ Mirrors the paper's methodology — one recorded verbose log per
 benchmark, reused by every characterization metric and every cache
 configuration.  Logs are synthesized lazily and memoized per
 (benchmark, seed, scale).
+
+Both derived artifacts — the compiled (packed-column) log the replay
+fast path consumes and the summary statistics — are additionally
+memoized on disk through the content-addressed store in
+:mod:`repro.fastpath.artifacts`, so a warm process (or a warm machine)
+never re-synthesizes a log it has seen before.  The object
+representation is reconstructed from the compiled artifact on demand
+(:meth:`~repro.fastpath.CompiledTraceLog` decompilation is lossless),
+keeping warm and cold runs byte-identical.
 """
 
 from __future__ import annotations
 
+from repro.fastpath import CompiledTraceLog, compile_log
+from repro.fastpath.artifacts import ARTIFACT_TOTALS, get_cache
 from repro.tracelog.records import TraceLog
 from repro.tracelog.stats import LogStatistics, summarize_log
 from repro.workloads.catalog import all_profiles, get_profile, profiles_for_suite
@@ -38,6 +49,7 @@ class WorkloadDataset:
         self.seed = seed
         self.scale_multiplier = scale_multiplier
         self._logs: dict[str, TraceLog] = {}
+        self._compiled: dict[str, CompiledTraceLog] = {}
         self._stats: dict[str, LogStatistics] = {}
         if subset is not None:
             self.profiles: tuple[WorkloadProfile, ...] = tuple(
@@ -61,18 +73,66 @@ class WorkloadDataset:
                 return candidate
         raise KeyError(f"benchmark {name!r} not in this dataset")
 
-    def log(self, name: str) -> TraceLog:
-        """The (memoized) synthesized log for one benchmark."""
-        if name not in self._logs:
+    def _scale(self, profile: WorkloadProfile) -> float:
+        return profile.default_scale * self.scale_multiplier
+
+    def _synthesize(self, profile: WorkloadProfile) -> TraceLog:
+        return synthesize_log(profile, seed=self.seed, scale=self._scale(profile))
+
+    def compiled(self, name: str) -> CompiledTraceLog:
+        """The (memoized, artifact-backed) compiled log for one
+        benchmark — what replay-heavy experiments feed the simulator."""
+        if name not in self._compiled:
             profile = self.profile(name)
-            scale = profile.default_scale * self.scale_multiplier
-            self._logs[name] = synthesize_log(profile, seed=self.seed, scale=scale)
+            store = get_cache()
+            if store is not None:
+                compiled, log = store.compiled_log(
+                    profile,
+                    self.seed,
+                    self._scale(profile),
+                    lambda: self._synthesize(profile),
+                )
+                if log is not None:
+                    self._logs[name] = log
+            else:
+                ARTIFACT_TOTALS["logs_synthesized"] += 1
+                compiled = compile_log(self.log(name))
+            self._compiled[name] = compiled
+        return self._compiled[name]
+
+    def log(self, name: str) -> TraceLog:
+        """The (memoized) object-form log for one benchmark.
+
+        With a warm artifact cache this decompiles the stored packed
+        log (lossless) instead of re-synthesizing.
+        """
+        if name not in self._logs:
+            if get_cache() is not None:
+                compiled = self.compiled(name)
+                # A compiled-artifact miss synthesizes and stashes the
+                # object log; only a hit leaves it to reconstruct.
+                if name not in self._logs:
+                    self._logs[name] = compiled.decompile()
+            else:
+                profile = self.profile(name)
+                self._logs[name] = self._synthesize(profile)
         return self._logs[name]
 
     def stats(self, name: str) -> LogStatistics:
-        """Memoized summary statistics of one benchmark's log."""
+        """Memoized, artifact-backed summary statistics of one
+        benchmark's log."""
         if name not in self._stats:
-            self._stats[name] = summarize_log(self.log(name))
+            store = get_cache()
+            if store is not None:
+                profile = self.profile(name)
+                self._stats[name] = store.log_stats(
+                    profile,
+                    self.seed,
+                    self._scale(profile),
+                    lambda: summarize_log(self.log(name)),
+                )
+            else:
+                self._stats[name] = summarize_log(self.log(name))
         return self._stats[name]
 
     def scale_note(self) -> str:

@@ -71,7 +71,7 @@ def evaluate_benchmark(
 ) -> BenchmarkEvaluation:
     """Run the unified baseline and every generational config over one
     benchmark's log."""
-    log = dataset.log(name)
+    log = dataset.compiled(name)
     capacity = baseline_capacity(dataset.stats(name).total_trace_bytes)
     unified = simulate_log(log, UnifiedCacheManager(capacity), cost_model)
     evaluation = BenchmarkEvaluation(

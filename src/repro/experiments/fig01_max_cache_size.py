@@ -37,7 +37,7 @@ def run(
         manager = UnifiedCacheManager(
             capacity=1 << 40, local_policy="unbounded", cache_name="unbounded"
         )
-        simulate_log(dataset.log(name), manager)
+        simulate_log(dataset.compiled(name), manager)
         measured_kb = kib(manager.cache.high_water_mark)  # type: ignore[attr-defined]
         paper_kb = profile.total_trace_kb
         per_suite[profile.suite].append(paper_kb)

@@ -135,7 +135,7 @@ def _serial_rates(
     dataset = dataset or WorkloadDataset(
         seed=seed, scale_multiplier=scale_multiplier, subset=[benchmark]
     )
-    log = dataset.log(benchmark)
+    log = dataset.compiled(benchmark)
     capacity = baseline_capacity(dataset.stats(benchmark).total_trace_bytes)
     rates: dict = {
         "unified": simulate_log(log, UnifiedCacheManager(capacity)).miss_rate
@@ -267,7 +267,7 @@ def _serial_cell_rates(
     dataset = dataset or WorkloadDataset(
         seed=seed, scale_multiplier=scale_multiplier, subset=[benchmark]
     )
-    log = dataset.log(benchmark)
+    log = dataset.compiled(benchmark)
     capacity = baseline_capacity(dataset.stats(benchmark).total_trace_bytes)
     rates: dict = {}
     for nursery, probation, persistent, threshold in cells:

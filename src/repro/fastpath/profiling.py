@@ -1,0 +1,112 @@
+"""Profiling hooks for experiment runs.
+
+``repro-gencache profile <experiment>`` runs one experiment under
+:mod:`cProfile` and emits a machine-readable timing report:
+
+* wall-clock split into a **workloads** phase (synthesizing/compiling
+  the benchmark logs, or loading them from the artifact store) and an
+  **experiment** phase (replay + table assembly);
+* deltas of the fast-path counters (how many replays took the compiled
+  loop vs the object path) and the artifact-store counters — a warm
+  store shows ``logs_synthesized == 0``, which is the invariant the
+  perf-smoke CI job asserts;
+* the top functions by cumulative time, plus the full ``.prof`` dump
+  for ``snakeviz``/``pstats`` spelunking.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import time
+from pathlib import Path
+
+from repro.fastpath.artifacts import ARTIFACT_TOTALS
+from repro.fastpath.replay import FASTPATH_TOTALS
+
+
+def _delta(before: dict, after: dict) -> dict:
+    return {key: after[key] - before[key] for key in after}
+
+
+def _top_functions(profiler: cProfile.Profile, top: int) -> list[dict]:
+    """The *top* functions by cumulative time, as plain dicts."""
+    stats = pstats.Stats(profiler)
+    rows = []
+    for (filename, line, name), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        rows.append(
+            {
+                "function": f"{filename}:{line}({name})",
+                "ncalls": nc,
+                "tottime": round(tt, 6),
+                "cumtime": round(ct, 6),
+            }
+        )
+    rows.sort(key=lambda row: row["cumtime"], reverse=True)
+    return rows[:top]
+
+
+def profile_experiment(
+    experiment_id: str,
+    seed: int = 42,
+    scale_multiplier: float = 1.0,
+    subset: list[str] | None = None,
+    sweep_benchmark: str = "word",
+    top: int = 15,
+    profile_path: str | Path | None = None,
+) -> dict:
+    """Run one experiment under cProfile; return the timing report."""
+    from repro.experiments.dataset import WorkloadDataset
+    from repro.experiments.runner import run_all
+
+    fast_before = dict(FASTPATH_TOTALS)
+    artifacts_before = dict(ARTIFACT_TOTALS)
+    profiler = cProfile.Profile()
+
+    profiler.enable()
+    t0 = time.perf_counter()
+    # Phase 1: materialize every compiled log the experiment will
+    # replay (straight from the artifact store when warm).
+    dataset = WorkloadDataset(
+        seed=seed, scale_multiplier=scale_multiplier, subset=subset
+    )
+    if experiment_id in ("sweep", "capacity"):
+        bench = sweep_benchmark
+        if subset and bench not in subset:
+            bench = subset[0]
+        names = [bench]
+    elif experiment_id in ("table-1", "table-2"):
+        names = []
+    else:
+        names = dataset.names
+    for name in names:
+        dataset.compiled(name)
+    t1 = time.perf_counter()
+    # Phase 2: the experiment itself (its own dataset resolves the
+    # same artifacts, now warm even on a previously cold store).
+    run_all(
+        seed=seed,
+        scale_multiplier=scale_multiplier,
+        subset=subset,
+        experiment_ids=(experiment_id,),
+        sweep_benchmark=sweep_benchmark,
+    )
+    t2 = time.perf_counter()
+    profiler.disable()
+
+    if profile_path is not None:
+        profiler.dump_stats(str(profile_path))
+    return {
+        "experiment": experiment_id,
+        "seed": seed,
+        "scale_multiplier": scale_multiplier,
+        "subset": sorted(subset) if subset else None,
+        "wall_seconds": round(t2 - t0, 6),
+        "phases": {
+            "workloads": round(t1 - t0, 6),
+            "experiment": round(t2 - t1, 6),
+        },
+        "fastpath": _delta(fast_before, FASTPATH_TOTALS),
+        "artifacts": _delta(artifacts_before, ARTIFACT_TOTALS),
+        "top_functions": _top_functions(profiler, top),
+    }

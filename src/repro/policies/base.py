@@ -72,6 +72,14 @@ class CodeCache(abc.ABC):
         self.name = name
         self.arena = Arena(capacity)
         self._traces: dict[int, CachedTrace] = {}
+        # Policies that track recency (LRU, oracle) override
+        # _after_touch; hoisting the hook lets record_hits skip a
+        # million no-op calls per replay for the ones that don't.
+        self._touch_hook = (
+            self._after_touch
+            if type(self)._after_touch is not CodeCache._after_touch
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -95,6 +103,14 @@ class CodeCache(abc.ABC):
     def __contains__(self, trace_id: int) -> bool:
         return trace_id in self._traces
 
+    @property
+    def plain_touch(self) -> bool:
+        """True when touching a trace is exactly ``access_count +=
+        count; last_access = time`` with no policy hook — the replay
+        fast path then updates the trace record in place instead of
+        calling :meth:`touch_resident`."""
+        return self._touch_hook is None
+
     def get(self, trace_id: int) -> CachedTrace:
         """Return the resident trace record.
 
@@ -107,6 +123,14 @@ class CodeCache(abc.ABC):
                 f"trace {trace_id} is not resident in cache {self.name!r}"
             )
         return trace
+
+    def find(self, trace_id: int) -> CachedTrace | None:
+        """Return the resident trace record, or None if not resident.
+
+        Unlike :meth:`get` this tolerates asking about a trace that was
+        already displaced — an insertion cascade can insert or promote a
+        trace and evict it again before the effect stream is read."""
+        return self._traces.get(trace_id)
 
     def traces(self) -> list[CachedTrace]:
         """All resident traces in arena address order."""
@@ -163,6 +187,31 @@ class CodeCache(abc.ABC):
         trace.last_access = time
         self._after_touch(trace)
         return trace
+
+    def touch_resident(self, trace_id: int, time: int, count: int) -> CachedTrace:
+        """:meth:`touch` for callers that already know the trace is
+        resident (the replay fast path) — skips the existence check, so
+        a stale caller gets a bare ``KeyError`` instead of
+        :class:`UnknownTraceError`."""
+        trace = self._traces[trace_id]
+        trace.access_count += count
+        trace.last_access = time
+        hook = self._touch_hook
+        if hook is not None:
+            hook(trace)
+        return trace
+
+    def record_hits(self, trace_id: int, time: int, count: int) -> tuple[()]:
+        """The replay fast path's hit handler for caches whose hits
+        never emit effects: :meth:`touch_resident` returning the
+        (empty) effect stream instead of the trace."""
+        trace = self._traces[trace_id]
+        trace.access_count += count
+        trace.last_access = time
+        hook = self._touch_hook
+        if hook is not None:
+            hook(trace)
+        return ()
 
     def remove(self, trace_id: int) -> CachedTrace:
         """Program-forced removal (unmapped module or an explicit

@@ -71,7 +71,8 @@ class PseudoCircularCache(CodeCache):
                     )
             window_end = pointer + size
             overlapping = self.arena.overlapping(pointer, window_end)
-            pinned = [p for p in overlapping if self.get(p.trace_id).pinned]
+            traces = self._traces
+            pinned = [p for p in overlapping if traces[p.trace_id].pinned]
             if pinned:
                 # Reset directly after the *last* pinned trace in the
                 # window and begin the eviction process again.

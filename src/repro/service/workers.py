@@ -124,7 +124,7 @@ def _run_sweep_point(spec: JobSpec) -> dict:
         scale_multiplier=spec.scale_multiplier,
         subset=[spec.benchmark],
     )
-    log = dataset.log(spec.benchmark)
+    log = dataset.compiled(spec.benchmark)
     capacity = spec.capacity
     if capacity is None:
         capacity = baseline_capacity(

@@ -38,8 +38,8 @@ from repro.tracelog.records import (
     TracePin,
     TraceUnpin,
 )
+from repro.fastpath.artifacts import cached_log
 from repro.workloads.catalog import get_profile
-from repro.workloads.synthesis import synthesize_log
 
 #: Namespace of shared-library trace keys (never collides with a
 #: benchmark name).
@@ -177,7 +177,7 @@ def build_process_workloads(
     library_log = None
     if library is not None:
         profile = get_profile(library)
-        library_log = synthesize_log(
+        library_log = cached_log(
             profile,
             seed=derive_seed(seed, "shared.library"),
             scale=profile.default_scale * scale_multiplier * library_scale,
@@ -187,7 +187,7 @@ def build_process_workloads(
     for name in benchmarks:
         if name not in composed:
             profile = get_profile(name)
-            app_log = synthesize_log(
+            app_log = cached_log(
                 profile,
                 seed=seed,
                 scale=profile.default_scale * scale_multiplier,

@@ -79,15 +79,17 @@ def _write_varint(out: bytearray, value: int) -> None:
 # ----------------------------------------------------------------------
 
 
-def _encode_header(log: TraceLog) -> bytearray:
+def _encode_header(
+    benchmark: str, duration_seconds: float, code_footprint: int, n_records: int
+) -> bytearray:
     out = bytearray()
     out += MAGIC
-    name = log.benchmark.encode("utf-8")
+    name = benchmark.encode("utf-8")
     _write_varint(out, len(name))
     out += name
-    out += struct.pack("<d", log.duration_seconds)
-    _write_varint(out, log.code_footprint)
-    _write_varint(out, len(log.records))
+    out += struct.pack("<d", duration_seconds)
+    _write_varint(out, code_footprint)
+    _write_varint(out, n_records)
     return out
 
 
@@ -122,17 +124,25 @@ def _encode_record(out: bytearray, record: LogRecord, delta: int) -> None:
         raise LogFormatError(f"unknown record type: {type(record).__name__}")
 
 
-def dump_binary(
-    log: TraceLog, stream, chunk_size: int = CHUNK_BYTES
-) -> int:
+def dump_binary(log, stream, chunk_size: int = CHUNK_BYTES) -> int:
     """Stream *log* to a writable binary *stream* in buffered chunks.
+
+    Accepts a :class:`TraceLog` or a compiled log
+    (:class:`repro.fastpath.CompiledTraceLog`) — the compiled form is
+    serialized straight from its packed columns, without decompiling,
+    and the byte stream is identical either way (the compiled opcodes
+    are the binary tags).
 
     Returns the number of bytes written.  The output is byte-identical
     to :func:`dumps_binary`.
     """
     if chunk_size < 1:
         raise LogFormatError(f"chunk_size must be >= 1, got {chunk_size}")
-    out = _encode_header(log)
+    if not isinstance(log, TraceLog):
+        return _dump_compiled(log, stream, chunk_size)
+    out = _encode_header(
+        log.benchmark, log.duration_seconds, log.code_footprint, len(log.records)
+    )
     written = 0
     previous_time = 0
     for record in log.records:
@@ -151,8 +161,51 @@ def dump_binary(
     return written
 
 
-def dumps_binary(log: TraceLog) -> bytes:
-    """Serialize *log* to compact bytes."""
+def _dump_compiled(compiled, stream, chunk_size: int) -> int:
+    """Serialize a compiled log column-by-column.  Same byte stream as
+    encoding the equivalent record objects: tag == opcode, and the
+    payload fields come straight off the packed rows."""
+    out = _encode_header(
+        compiled.benchmark,
+        compiled.duration_seconds,
+        compiled.code_footprint,
+        len(compiled),
+    )
+    written = 0
+    previous_time = 0
+    write = _write_varint
+    for op, time, trace_id, size, module_id, repeat in compiled.rows():
+        delta = time - previous_time
+        if delta < 0:
+            raise LogFormatError("binary format requires time-sorted records")
+        previous_time = time
+        write(out, op)
+        write(out, delta)
+        if op == _TAG_ACCESS:
+            write(out, trace_id)
+            write(out, repeat)
+        elif op == _TAG_CREATE:
+            write(out, trace_id)
+            write(out, size)
+            write(out, module_id)
+        elif op == _TAG_UNMAP:
+            write(out, module_id)
+        elif op == _TAG_PIN or op == _TAG_UNPIN:
+            write(out, trace_id)
+        elif op != _TAG_END:
+            raise LogFormatError(f"unknown compiled opcode {op}")
+        if len(out) >= chunk_size:
+            stream.write(out)
+            written += len(out)
+            out = bytearray()
+    if out:
+        stream.write(out)
+        written += len(out)
+    return written
+
+
+def dumps_binary(log) -> bytes:
+    """Serialize a :class:`TraceLog` or compiled log to compact bytes."""
     buffer = io.BytesIO()
     dump_binary(log, buffer)
     return buffer.getvalue()
@@ -164,10 +217,15 @@ def dumps_binary(log: TraceLog) -> bytes:
 
 
 class _Reader:
-    """Byte cursor with varint decoding over an in-memory buffer."""
+    """Byte cursor with varint decoding over an in-memory buffer.
+
+    Multi-byte reads slice a :class:`memoryview`, so no per-record
+    bytes copies are made; single-byte varint reads index the view
+    directly (an int, copy-free either way).
+    """
 
     def __init__(self, data: bytes) -> None:
-        self.data = data
+        self.data = memoryview(data)
         self.pos = 0
 
     def bytes(self, n: int) -> bytes:
@@ -175,18 +233,22 @@ class _Reader:
             raise LogFormatError("truncated binary log")
         chunk = self.data[self.pos : self.pos + n]
         self.pos += n
-        return chunk
+        return chunk.tobytes()
 
     def varint(self) -> int:
         result = 0
         shift = 0
+        data = self.data
+        pos = self.pos
+        end = len(data)
         while True:
-            if self.pos >= len(self.data):
+            if pos >= end:
                 raise LogFormatError("truncated varint in binary log")
-            byte = self.data[self.pos]
-            self.pos += 1
+            byte = data[pos]
+            pos += 1
             result |= (byte & 0x7F) << shift
             if not byte & 0x80:
+                self.pos = pos
                 return result
             shift += 7
             if shift > 63:
@@ -194,21 +256,26 @@ class _Reader:
 
 
 class _StreamReader:
-    """Same cursor interface, refilled from a stream in buffered chunks."""
+    """Same cursor interface, refilled from a stream in buffered chunks.
+
+    The buffer is a :class:`bytearray` compacted in place (``del
+    buffer[:pos]``) instead of re-sliced into a fresh bytes object on
+    every refill, and multi-byte reads go through a memoryview.
+    """
 
     def __init__(self, stream, chunk_size: int = CHUNK_BYTES) -> None:
         if chunk_size < 1:
             raise LogFormatError(f"chunk_size must be >= 1, got {chunk_size}")
         self.stream = stream
         self.chunk_size = chunk_size
-        self.buffer = b""
+        self.buffer = bytearray()
         self.pos = 0
         self.eof = False
 
     def _refill(self, need: int) -> None:
         """Ensure at least *need* unread bytes are buffered (or EOF)."""
         if self.pos:
-            self.buffer = self.buffer[self.pos :]
+            del self.buffer[: self.pos]
             self.pos = 0
         while not self.eof and len(self.buffer) < need:
             chunk = self.stream.read(max(self.chunk_size, need - len(self.buffer)))
@@ -222,7 +289,7 @@ class _StreamReader:
             self._refill(n)
             if n > len(self.buffer):
                 raise LogFormatError("truncated binary log")
-        chunk = self.buffer[self.pos : self.pos + n]
+        chunk = bytes(memoryview(self.buffer)[self.pos : self.pos + n])
         self.pos += n
         return chunk
 
@@ -232,7 +299,7 @@ class _StreamReader:
         while True:
             if self.pos >= len(self.buffer):
                 self._refill(1)
-                if not self.buffer:
+                if self.pos >= len(self.buffer):
                     raise LogFormatError("truncated varint in binary log")
             byte = self.buffer[self.pos]
             self.pos += 1
@@ -290,6 +357,55 @@ def _parse(reader, validate: bool) -> TraceLog:
     return log
 
 
+def _parse_compiled(reader):
+    """Decode straight into packed columns — no record objects at all.
+
+    The compiled opcodes are the binary tags, so each record is six
+    column appends; times are un-delta'd on the fly.
+    """
+    from repro.fastpath.compiled import CompiledTraceLog
+
+    if reader.bytes(4) != MAGIC:
+        raise LogFormatError("bad binary-log magic")
+    name = reader.bytes(reader.varint()).decode("utf-8")
+    (duration,) = struct.unpack("<d", reader.bytes(8))
+    footprint = reader.varint()
+    n_records = reader.varint()
+    compiled = CompiledTraceLog(
+        benchmark=name, duration_seconds=duration, code_footprint=footprint
+    )
+    varint = reader.varint
+    append_op = compiled.op.append
+    append_time = compiled.time.append
+    append_trace = compiled.trace_id.append
+    append_size = compiled.size.append
+    append_module = compiled.module.append
+    append_repeat = compiled.repeat.append
+    time = 0
+    for _ in range(n_records):
+        tag = varint()
+        time += varint()
+        if tag == _TAG_ACCESS:
+            trace_id, size, module_id, repeat = varint(), 0, 0, varint()
+        elif tag == _TAG_CREATE:
+            trace_id, size, module_id, repeat = varint(), varint(), varint(), 0
+        elif tag == _TAG_UNMAP:
+            trace_id, size, module_id, repeat = 0, 0, varint(), 0
+        elif tag == _TAG_PIN or tag == _TAG_UNPIN:
+            trace_id, size, module_id, repeat = varint(), 0, 0, 0
+        elif tag == _TAG_END:
+            trace_id = size = module_id = repeat = 0
+        else:
+            raise LogFormatError(f"unknown binary record tag {tag}")
+        append_op(tag)
+        append_time(time)
+        append_trace(trace_id)
+        append_size(size)
+        append_module(module_id)
+        append_repeat(repeat)
+    return compiled
+
+
 def loads_binary(data: bytes, validate: bool = True) -> TraceLog:
     """Parse a binary log from bytes."""
     return _parse(_Reader(data), validate)
@@ -302,13 +418,25 @@ def load_binary(
     return _parse(_StreamReader(stream, chunk_size=chunk_size), validate)
 
 
+def loads_binary_compiled(data: bytes):
+    """Parse a binary log from bytes directly into a
+    :class:`repro.fastpath.CompiledTraceLog` (no record objects)."""
+    return _parse_compiled(_Reader(data))
+
+
+def load_binary_compiled(stream, chunk_size: int = CHUNK_BYTES):
+    """Parse a binary log from a stream directly into packed columns."""
+    return _parse_compiled(_StreamReader(stream, chunk_size=chunk_size))
+
+
 # ----------------------------------------------------------------------
 # File convenience wrappers
 # ----------------------------------------------------------------------
 
 
-def write_binary_log(log: TraceLog, path: str | Path) -> None:
-    """Write *log* to a binary file (chunk-buffered)."""
+def write_binary_log(log, path: str | Path) -> None:
+    """Write a :class:`TraceLog` or compiled log to a binary file
+    (chunk-buffered)."""
     with open(path, "wb") as stream:
         dump_binary(log, stream)
 
@@ -317,3 +445,9 @@ def read_binary_log(path: str | Path, validate: bool = True) -> TraceLog:
     """Read a binary log file (chunk-buffered)."""
     with open(path, "rb") as stream:
         return load_binary(stream, validate=validate)
+
+
+def read_binary_log_compiled(path: str | Path):
+    """Read a binary log file directly into packed columns."""
+    with open(path, "rb") as stream:
+        return load_binary_compiled(stream)

@@ -153,6 +153,18 @@ class TraceLog:
         """All TraceCreate records in order."""
         return [r for r in self.records if isinstance(r, TraceCreate)]
 
+    def compile(self):
+        """Pack into the columnar fast-path representation.
+
+        Returns:
+            repro.fastpath.CompiledTraceLog: see :mod:`repro.fastpath`.
+        """
+        # Imported lazily: repro.fastpath packs these record types, so
+        # a module-level import would cycle.
+        from repro.fastpath import compile_log
+
+        return compile_log(self)
+
     def validate(self) -> None:
         """Full structural validation.
 

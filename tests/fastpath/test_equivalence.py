@@ -1,0 +1,179 @@
+"""Object path vs compiled fast path: byte-identical results.
+
+Every policy, both manager families, every generational promotion
+config — the two replay paths must agree on the full
+:class:`~repro.cachesim.stats.SimulationResult`, including the
+float-accumulated overhead instruction totals (``==``, not isclose:
+the fast path charges effects in the same order, so the floats match
+bit for bit).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cachesim.simulator import CacheSimulator
+from repro.core.config import FIGURE9_CONFIGS, GenerationalConfig, PromotionMode
+from repro.core.generational import GenerationalCacheManager
+from repro.core.unified import UnifiedCacheManager
+from repro.fastpath import (
+    FASTPATH_TOTALS,
+    compile_log,
+    disable_fastpath,
+    enable_fastpath,
+    fastpath_enabled,
+    object_path,
+)
+from repro.overhead.model import TABLE2_COSTS
+from repro.policies import POLICIES
+from repro.workloads.catalog import get_profile
+from repro.workloads.synthesis import synthesize_log
+
+GENERATIONAL_CONFIGS = FIGURE9_CONFIGS + (
+    GenerationalConfig(
+        promotion_mode=PromotionMode.ON_HIT, promotion_threshold=5
+    ),
+    GenerationalConfig(
+        nursery_fraction=0.2,
+        probation_fraction=0.4,
+        persistent_fraction=0.4,
+        promotion_mode=PromotionMode.ON_EVICTION,
+        promotion_threshold=25,
+    ),
+    GenerationalConfig(
+        promotion_mode=PromotionMode.ON_HIT,
+        promotion_threshold=2,
+        local_policy="lru",
+    ),
+)
+
+#: word exercises unmaps and pins; gzip is a pure SPEC loop shape.
+#: scale is a trace-count divisor; these keep each log around a few
+#: thousand records so the ~30-case cross product stays fast — the
+#: benchmarks cover evaluation-scale logs.
+LOGS = {
+    "gzip": synthesize_log(get_profile("gzip"), seed=9, scale=8.0),
+    "word": synthesize_log(get_profile("word"), seed=9, scale=64.0),
+}
+
+
+def assert_equivalent(log, make_manager, cost_model=TABLE2_COSTS):
+    compiled = compile_log(log)
+    with object_path():
+        reference = CacheSimulator(make_manager(), cost_model).run(log)
+    before = FASTPATH_TOTALS["fast_replays"]
+    outcome = CacheSimulator(make_manager(), cost_model).run(compiled)
+    assert FASTPATH_TOTALS["fast_replays"] == before + 1, (
+        "compiled replay did not take the fast path"
+    )
+    assert outcome.stats == reference.stats
+    assert outcome.overhead_instructions == reference.overhead_instructions
+    assert outcome.final_fragmentation == reference.final_fragmentation
+    assert outcome.final_occupancy == reference.final_occupancy
+    assert outcome.benchmark == reference.benchmark
+    assert outcome.manager_name == reference.manager_name
+    return outcome
+
+
+def _capacity(log, fraction=0.5):
+    return max(4096, int(log.total_trace_bytes * fraction))
+
+
+@pytest.mark.parametrize("bench", sorted(LOGS))
+@pytest.mark.parametrize(
+    "policy", sorted(set(POLICIES) - {"oracle"})
+)
+def test_unified_policies_equivalent(bench, policy):
+    log = LOGS[bench]
+    # The unbounded policy never evicts, so it needs room for every
+    # trace ever created; the bounded policies run starved at 50%.
+    fraction = 2.0 if policy == "unbounded" else 0.5
+    assert_equivalent(
+        log,
+        lambda: UnifiedCacheManager(
+            _capacity(log, fraction), local_policy=policy
+        ),
+    )
+
+
+@pytest.mark.parametrize("bench", sorted(LOGS))
+def test_unified_oracle_equivalent(bench):
+    from repro.experiments.headroom import oracle_manager
+
+    log = LOGS[bench]
+    assert_equivalent(log, lambda: oracle_manager(log, _capacity(log)))
+
+
+@pytest.mark.parametrize("bench", sorted(LOGS))
+@pytest.mark.parametrize(
+    "config", GENERATIONAL_CONFIGS, ids=lambda c: c.label()
+)
+def test_generational_configs_equivalent(bench, config):
+    log = LOGS[bench]
+    assert_equivalent(
+        log, lambda: GenerationalCacheManager(_capacity(log), config)
+    )
+
+
+@pytest.mark.parametrize("bench", sorted(LOGS))
+def test_tight_capacity_equivalent(bench):
+    """A starved cache maximizes eviction/promotion churn."""
+    log = LOGS[bench]
+    assert_equivalent(log, lambda: UnifiedCacheManager(_capacity(log, 0.1)))
+    assert_equivalent(
+        log,
+        lambda: GenerationalCacheManager(_capacity(log, 0.1), FIGURE9_CONFIGS[0]),
+    )
+
+
+def test_no_cost_model_equivalent():
+    log = LOGS["word"]
+    assert_equivalent(
+        log,
+        lambda: GenerationalCacheManager(_capacity(log), FIGURE9_CONFIGS[1]),
+        cost_model=None,
+    )
+
+
+def test_sanitizer_forces_object_path():
+    from repro.analysis.sanitizer import SanitizerHarness
+
+    log = LOGS["gzip"]
+    compiled = compile_log(log)
+    manager = UnifiedCacheManager(_capacity(log))
+    sim = CacheSimulator(
+        manager, TABLE2_COSTS, sanitizer=SanitizerHarness(manager, stride=64)
+    )
+    before = dict(FASTPATH_TOTALS)
+    sanitized = sim.run(compiled)
+    assert FASTPATH_TOTALS["fast_replays"] == before["fast_replays"]
+    assert FASTPATH_TOTALS["object_replays"] == before["object_replays"] + 1
+    with object_path():
+        reference = CacheSimulator(
+            UnifiedCacheManager(_capacity(log)), TABLE2_COSTS
+        ).run(log)
+    assert sanitized.stats == reference.stats
+
+
+def test_disable_fastpath_switch():
+    log = LOGS["gzip"]
+    compiled = compile_log(log)
+    assert fastpath_enabled()
+    disable_fastpath()
+    try:
+        assert not fastpath_enabled()
+        before = FASTPATH_TOTALS["object_replays"]
+        CacheSimulator(UnifiedCacheManager(_capacity(log))).run(compiled)
+        assert FASTPATH_TOTALS["object_replays"] == before + 1
+    finally:
+        enable_fastpath()
+
+
+def test_object_path_context_restores():
+    with object_path():
+        assert not fastpath_enabled()
+        with object_path():
+            assert not fastpath_enabled()
+        # Inner exit must not prematurely re-enable.
+        assert not fastpath_enabled()
+    assert fastpath_enabled()

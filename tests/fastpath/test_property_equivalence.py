@@ -1,0 +1,134 @@
+"""Property-style equivalence: random logs, both replay paths agree.
+
+Skipped cleanly when hypothesis is not installed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+try:  # pragma: no cover - hypothesis is an optional dep
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover
+    HAVE_HYPOTHESIS = False
+
+from repro.cachesim.simulator import CacheSimulator
+from repro.errors import CacheFullError
+from repro.core.config import GenerationalConfig, PromotionMode
+from repro.core.generational import GenerationalCacheManager
+from repro.core.unified import UnifiedCacheManager
+from repro.fastpath import compile_log, object_path
+from repro.overhead.model import TABLE2_COSTS
+from repro.tracelog.records import (
+    EndOfLog,
+    ModuleUnmap,
+    TraceAccess,
+    TraceCreate,
+    TraceLog,
+    TracePin,
+    TraceUnpin,
+)
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_HYPOTHESIS, reason="hypothesis not installed"
+)
+
+if HAVE_HYPOTHESIS:
+
+    @st.composite
+    def trace_logs(draw):
+        """A small, valid, time-sorted log with adversarial structure:
+        re-accesses after unmaps, pins before residency, bursts."""
+        n_events = draw(st.integers(min_value=1, max_value=120))
+        log = TraceLog(benchmark="prop", duration_seconds=1.0, code_footprint=4096)
+        time = 0
+        next_id = 0
+        created: list[int] = []
+        for _ in range(n_events):
+            time += draw(st.integers(min_value=1, max_value=50))
+            kind = draw(
+                st.sampled_from(
+                    ["create", "access", "access", "unmap", "pin", "unpin"]
+                )
+            )
+            if kind == "create" or not created:
+                log.append(
+                    TraceCreate(
+                        time=time,
+                        trace_id=next_id,
+                        size=draw(st.integers(min_value=16, max_value=900)),
+                        module_id=draw(st.integers(min_value=0, max_value=3)),
+                    )
+                )
+                created.append(next_id)
+                next_id += 1
+            elif kind == "access":
+                log.append(
+                    TraceAccess(
+                        time=time,
+                        trace_id=draw(st.sampled_from(created)),
+                        repeat=draw(st.integers(min_value=1, max_value=12)),
+                    )
+                )
+            elif kind == "unmap":
+                log.append(
+                    ModuleUnmap(
+                        time=time,
+                        module_id=draw(st.integers(min_value=0, max_value=3)),
+                    )
+                )
+            elif kind == "pin":
+                log.append(
+                    TracePin(time=time, trace_id=draw(st.sampled_from(created)))
+                )
+            else:
+                log.append(
+                    TraceUnpin(time=time, trace_id=draw(st.sampled_from(created)))
+                )
+        log.append(EndOfLog(time=time + 1))
+        return log
+
+    def _replay(make_manager, payload):
+        """Run one path; a starved, pin-blocked cache legitimately
+        raises CacheFullError — the paths must agree on that too."""
+        try:
+            return CacheSimulator(make_manager(), TABLE2_COSTS).run(payload)
+        except CacheFullError as exc:
+            return ("cache-full", str(exc))
+
+    def _check(log, make_manager):
+        compiled = compile_log(log)
+        assert compiled.decompile().records == log.records
+        with object_path():
+            reference = _replay(make_manager, log)
+        outcome = _replay(make_manager, compiled)
+        if isinstance(reference, tuple):
+            assert outcome == reference
+            return
+        assert outcome.stats == reference.stats
+        assert outcome.overhead_instructions == reference.overhead_instructions
+        assert outcome.final_fragmentation == reference.final_fragmentation
+        assert outcome.final_occupancy == reference.final_occupancy
+
+    @given(log=trace_logs(), fraction=st.sampled_from([0.15, 0.5, 1.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_unified_random_logs(log, fraction):
+        capacity = max(1024, int(log.total_trace_bytes * fraction))
+        _check(log, lambda: UnifiedCacheManager(capacity))
+
+    @given(
+        log=trace_logs(),
+        threshold=st.sampled_from([1, 2, 10]),
+        on_hit=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_generational_random_logs(log, threshold, on_hit):
+        mode = PromotionMode.ON_HIT if on_hit else PromotionMode.ON_EVICTION
+        config = GenerationalConfig(
+            promotion_mode=mode, promotion_threshold=threshold
+        )
+        capacity = max(4096, int(log.total_trace_bytes * 0.4))
+        _check(log, lambda: GenerationalCacheManager(capacity, config))
