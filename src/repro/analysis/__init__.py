@@ -4,8 +4,11 @@ Two halves:
 
 * **cachelint** — an AST-based lint with domain rules (determinism,
   policy-API conformance, float-equality, exception hygiene, units
-  hygiene, mutable defaults), ``# cachelint: disable=`` suppressions,
-  and text/JSON reporters.  CLI: ``repro-lint``.
+  hygiene, mutable defaults), whole-program passes (import cycles,
+  determinism taint, fastpath safety, concurrency locksets — see
+  :mod:`repro.analysis.whole`), ``# cachelint: disable=`` suppressions,
+  and text/JSON reporters.  CLI: ``repro-lint`` (``--deep`` for the
+  whole-program passes).
 * **sanitizer** — :class:`SanitizerHarness`, which re-checks the
   cache/arena structural invariants every N replayed events and raises
   structured :class:`~repro.errors.InvariantViolation` errors.
@@ -20,13 +23,14 @@ Quickstart::
     simulator = CacheSimulator(manager, sanitizer=SanitizerHarness(manager))
 """
 
-from repro.analysis import builtin  # noqa: F401 - populates the registry
+from repro.analysis import builtin, whole  # noqa: F401 - populate the registry
 from repro.analysis.core import (
     REGISTRY,
     FileContext,
     Rule,
     Severity,
     Violation,
+    WholeProgramRule,
     all_rules,
     make_rules,
     register,
@@ -41,8 +45,11 @@ from repro.analysis.sanitizer import (
     sanitizer_enabled,
 )
 from repro.analysis.suppressions import SuppressionMap, parse_suppressions
+from repro.analysis.whole import Program
 
 __all__ = [
+    "Program",
+    "WholeProgramRule",
     "AnalysisReport",
     "Analyzer",
     "DEFAULT_STRIDE",

@@ -3,9 +3,16 @@
 Examples::
 
     repro-lint src/repro                 # lint the package, text output
+    repro-lint --deep src/repro          # + whole-program passes
+    repro-lint --graph graph.json src/repro   # dump the call graph
     repro-lint --format json src/repro   # machine-readable report
     repro-lint --select float-equality,bare-except src/repro
     repro-lint --list-rules              # show every registered rule
+
+The fast per-file rules run by default; ``--deep`` adds the
+whole-program passes (import cycles, determinism taint, fastpath
+safety, concurrency locksets).  Explicitly ``--select``-ing a
+whole-program rule runs it without needing ``--deep``.
 
 Exit codes: 0 clean (warnings allowed), 1 error-severity violations,
 2 usage error.
@@ -14,11 +21,12 @@ Exit codes: 0 clean (warnings allowed), 1 error-severity violations,
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
 
-from repro.analysis import builtin  # noqa: F401 - populates the registry
+from repro.analysis import builtin, whole  # noqa: F401 - populate the registry
 from repro.analysis.core import REGISTRY, make_rules
 from repro.analysis.engine import Analyzer
 from repro.analysis.reporters import FORMATS
@@ -47,10 +55,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--deep", action="store_true",
+        help="also run the whole-program passes (call graph, taint, "
+        "fastpath safety, locksets)",
+    )
+    parser.add_argument(
+        "--graph", metavar="OUT.json",
+        help="write the whole-program call graph as JSON and exit",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="list registered rules and exit",
     )
     return parser
+
+
+def _dump_graph(paths: list[str], out: str) -> int:
+    from repro.analysis.whole.program import Program
+
+    program = Program.from_paths(paths)
+    data = program.graph.to_dict()
+    Path(out).write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(
+        f"wrote call graph for {len(data['modules'])} module(s) "
+        f"({len(data['functions'])} function(s)) to {out}"
+    )
+    return 0
 
 
 def _list_rules() -> int:
@@ -73,12 +105,16 @@ def main(argv: list[str] | None = None) -> int:
     except ConfigError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
+    if selected is None and not args.deep:
+        rules = [rule for rule in rules if not rule.whole_program]
     paths = args.paths or ["src/repro"]
     missing = [path for path in paths if not Path(path).exists()]
     if missing:
         for path in missing:
             print(f"repro-lint: no such file or directory: {path}", file=sys.stderr)
         return 2
+    if args.graph:
+        return _dump_graph(paths, args.graph)
     report = Analyzer(rules).analyze_paths(paths)
     try:
         print(FORMATS[args.format](report))

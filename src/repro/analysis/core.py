@@ -46,6 +46,8 @@ class Violation:
         line: 1-based source line.
         col: 0-based source column.
         message: Human-readable explanation.
+        trace: Optional call-path context (whole-program rules) — one
+            rendered step per element, source first, sink last.
     """
 
     rule_id: str
@@ -54,6 +56,7 @@ class Violation:
     line: int
     col: int
     message: str
+    trace: tuple[str, ...] = ()
 
     def location(self) -> str:
         """``path:line:col`` string for reports."""
@@ -119,6 +122,9 @@ class Rule(abc.ABC):
     #: fnmatch patterns of files the rule never runs on (the sanctioned
     #: implementation sites, e.g. ``repro/rand.py`` for determinism).
     exempt_paths: tuple[str, ...] = ()
+    #: True for whole-program rules (run over the call graph, not one
+    #: file at a time); the CLI only includes them under ``--deep``.
+    whole_program: bool = False
 
     def applies_to(self, path: str) -> bool:
         """Whether this rule should run on *path* at all."""
@@ -134,6 +140,24 @@ class Rule(abc.ABC):
 
     def end_file(self, ctx: FileContext) -> None:
         """Hook called after the walk of one file completes."""
+
+
+class WholeProgramRule(Rule):
+    """A rule that checks the whole program at once.
+
+    Instead of ``visit_*`` handlers, subclasses implement
+    :meth:`check`, receiving the loaded
+    :class:`repro.analysis.whole.program.Program` after every file has
+    been parsed.  Violations they return are still subject to the
+    per-line ``# cachelint: disable=`` suppressions of the file each
+    one points at — the engine applies those after :meth:`check`.
+    """
+
+    whole_program = True
+
+    @abc.abstractmethod
+    def check(self, program) -> list[Violation]:
+        """Return every violation found in *program*."""
 
 
 #: All known rules by id, in registration order.

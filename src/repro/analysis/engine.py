@@ -1,22 +1,50 @@
 """The cachelint analysis engine.
 
-Walks each module's AST exactly once and dispatches every node to the
-registered rules that declared a ``visit_<NodeType>`` handler for it.
-Files that fail to parse produce a synthetic ``parse-error`` violation
-instead of aborting the run.
+Every file is read and parsed exactly **once** per run.  The parsed
+tree is shared by both halves of the engine: the per-file rules (one
+AST walk dispatching to ``visit_<NodeType>`` handlers) and the
+whole-program rules (which consume all trees together as a
+:class:`~repro.analysis.whole.program.Program` — call graph, taint,
+fastpath-safety and lockset passes).  Files that fail to parse produce
+a synthetic ``parse-error`` violation instead of aborting the run and
+are simply absent from the whole-program view.
+
+Whole-program violations honor the same ``# cachelint: disable=``
+suppressions as per-file ones (matched against the module the
+violation's path was loaded from) and each rule's ``exempt_paths``.
 """
 
 from __future__ import annotations
 
 import ast
+import time  # cachelint: disable=no-nondeterminism # cachelint: allow[nondet]
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.analysis.core import FileContext, Rule, Severity, Violation, all_rules
-from repro.analysis.suppressions import parse_suppressions
+from repro.analysis.suppressions import SuppressionMap, parse_suppressions
 
 #: Rule id reported for files the parser rejects.
 PARSE_ERROR = "parse-error"
+
+
+@dataclass
+class ParsedFile:
+    """One source file, read and parsed once for the whole run.
+
+    Attributes:
+        path: The path the file was read from, as given.
+        source: Raw file contents.
+        tree: Parsed AST, or None when the file does not parse.
+        suppressions: Parsed ``# cachelint:`` markers.
+        error: The synthetic parse-error violation, when tree is None.
+    """
+
+    path: str
+    source: str
+    tree: ast.Module | None
+    suppressions: SuppressionMap
+    error: Violation | None = None
 
 
 @dataclass
@@ -24,14 +52,17 @@ class AnalysisReport:
     """Everything one analyzer run produced.
 
     Attributes:
-        violations: All hits across all files, in file order.
+        violations: All hits across all files, in file order (per-file
+            rules first, then whole-program rules sorted by location).
         files_checked: Number of python files analyzed.
         suppressed: Hits silenced by ``# cachelint:`` comments.
+        elapsed_seconds: Wall time the run took.
     """
 
     violations: list[Violation] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
+    elapsed_seconds: float = 0.0
 
     @property
     def error_count(self) -> int:
@@ -55,55 +86,79 @@ class AnalysisReport:
         return counts
 
 
+def parse_file(path: str, source: str) -> ParsedFile:
+    """Parse one source blob into the engine's shared representation."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return ParsedFile(
+            path=path,
+            source=source,
+            tree=None,
+            suppressions=SuppressionMap(),
+            error=Violation(
+                rule_id=PARSE_ERROR,
+                severity=Severity.ERROR,
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+            ),
+        )
+    return ParsedFile(
+        path=path,
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+    )
+
+
 class Analyzer:
     """Runs a rule set over sources, files, or whole directory trees."""
 
     def __init__(self, rules: list[Rule] | None = None) -> None:
         self.rules = rules if rules is not None else all_rules()
+        self.file_rules = [r for r in self.rules if not r.whole_program]
+        self.program_rules = [r for r in self.rules if r.whole_program]
 
     # ------------------------------------------------------------------
     # Entry points
     # ------------------------------------------------------------------
 
     def analyze_source(self, source: str, path: str = "<string>") -> list[Violation]:
-        """Check one in-memory source blob (the test fixtures' path)."""
+        """Check one in-memory source blob with the per-file rules (the
+        test fixtures' path; whole-program rules need ``analyze_paths``)."""
         self._last_suppressed = 0
-        applicable = [rule for rule in self.rules if rule.applies_to(path)]
-        if not applicable:
-            return []
-        try:
-            tree = ast.parse(source)
-        except SyntaxError as exc:
-            return [
-                Violation(
-                    rule_id=PARSE_ERROR,
-                    severity=Severity.ERROR,
-                    path=path,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
-                    message=f"file does not parse: {exc.msg}",
-                )
-            ]
-        ctx = FileContext(
-            path=path,
-            source=source,
-            tree=tree,
-            suppressions=parse_suppressions(source),
-        )
-        self._run_rules(ctx, applicable)
-        self._last_suppressed = ctx.suppressed_count
-        return ctx.violations
+        parsed = parse_file(path, source)
+        if parsed.error is not None:
+            return [parsed.error]
+        violations, suppressed = self._check_file(parsed)
+        self._last_suppressed = suppressed
+        return violations
 
     def analyze_paths(self, paths: list[str | Path]) -> AnalysisReport:
-        """Check every ``.py`` file under the given files/directories."""
+        """Check every ``.py`` file under the given files/directories:
+        one parse per file, per-file rules, then whole-program rules
+        over the shared trees."""
+        started = time.perf_counter()  # cachelint: allow[nondet] (wall-time)
         report = AnalysisReport()
+        parsed_files: list[ParsedFile] = []
         for file_path in self._collect(paths):
-            source = file_path.read_text(encoding="utf-8")
-            report.files_checked += 1
-            report.violations.extend(
-                self.analyze_source(source, path=str(file_path))
+            parsed = parse_file(
+                str(file_path), file_path.read_text(encoding="utf-8")
             )
-            report.suppressed += self._last_suppressed
+            parsed_files.append(parsed)
+            report.files_checked += 1
+            if parsed.error is not None:
+                report.violations.append(parsed.error)
+                continue
+            violations, suppressed = self._check_file(parsed)
+            report.violations.extend(violations)
+            report.suppressed += suppressed
+        self._run_program_rules(parsed_files, report)
+        report.elapsed_seconds = (
+            time.perf_counter() - started  # cachelint: allow[nondet] (wall-time)
+        )
         return report
 
     # ------------------------------------------------------------------
@@ -126,6 +181,54 @@ class Analyzer:
             else:
                 files.append(path)
         return files
+
+    def _check_file(self, parsed: ParsedFile) -> tuple[list[Violation], int]:
+        """Run the per-file rules over one parsed file."""
+        applicable = [
+            rule for rule in self.file_rules if rule.applies_to(parsed.path)
+        ]
+        if not applicable:
+            return [], 0
+        ctx = FileContext(
+            path=parsed.path,
+            source=parsed.source,
+            tree=parsed.tree,
+            suppressions=parsed.suppressions,
+        )
+        self._run_rules(ctx, applicable)
+        return ctx.violations, ctx.suppressed_count
+
+    def _run_program_rules(
+        self, parsed_files: list[ParsedFile], report: AnalysisReport
+    ) -> None:
+        if not self.program_rules:
+            return
+        from repro.analysis.whole.program import Program
+
+        program = Program.load(
+            [
+                (parsed.path, parsed.tree, parsed.suppressions)
+                for parsed in parsed_files
+                if parsed.tree is not None
+            ]
+        )
+        suppressions_by_path = {
+            parsed.path: parsed.suppressions for parsed in parsed_files
+        }
+        collected: list[Violation] = []
+        for rule in self.program_rules:
+            for violation in rule.check(program):
+                if not rule.applies_to(violation.path):
+                    continue
+                suppressions = suppressions_by_path.get(violation.path)
+                if suppressions is not None and suppressions.is_suppressed(
+                    violation.rule_id, violation.line
+                ):
+                    report.suppressed += 1
+                    continue
+                collected.append(violation)
+        collected.sort(key=lambda v: (v.path, v.line, v.rule_id))
+        report.violations.extend(collected)
 
     def _run_rules(self, ctx: FileContext, rules: list[Rule]) -> None:
         dispatch: dict[type, list[tuple[Rule, object]]] = {}

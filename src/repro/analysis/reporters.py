@@ -2,7 +2,9 @@
 
 Two formats: a compiler-style text listing (the default, one line per
 violation plus a summary) and a machine-readable JSON document for CI
-annotation tooling.
+annotation tooling.  Whole-program violations carry a trace (the
+source→sink or hook→call path); the text renderer shows it indented
+under the violation line, JSON as a ``trace`` array.
 """
 
 from __future__ import annotations
@@ -13,13 +15,17 @@ from repro.analysis.engine import AnalysisReport
 
 
 def render_text(report: AnalysisReport) -> str:
-    """Compiler-style listing: ``path:line:col: severity [rule] msg``."""
-    lines = [
-        f"{v.location()}: {v.severity.label()} [{v.rule_id}] {v.message}"
-        for v in report.violations
-    ]
+    """Compiler-style listing: ``path:line:col: severity [rule] msg``,
+    with call-path traces indented underneath."""
+    lines = []
+    for v in report.violations:
+        lines.append(
+            f"{v.location()}: {v.severity.label()} [{v.rule_id}] {v.message}"
+        )
+        lines.extend(f"    {step}" for step in v.trace)
     summary = (
-        f"checked {report.files_checked} file(s): "
+        f"checked {report.files_checked} file(s) in "
+        f"{report.elapsed_seconds:.2f}s: "
         f"{report.error_count} error(s), {report.warning_count} warning(s)"
     )
     if report.suppressed:
@@ -39,11 +45,13 @@ def render_json(report: AnalysisReport) -> str:
                 "line": v.line,
                 "col": v.col,
                 "message": v.message,
+                "trace": list(v.trace),
             }
             for v in report.violations
         ],
         "summary": {
             "files_checked": report.files_checked,
+            "elapsed_seconds": round(report.elapsed_seconds, 3),
             "errors": report.error_count,
             "warnings": report.warning_count,
             "suppressed": report.suppressed,

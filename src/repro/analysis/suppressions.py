@@ -10,6 +10,11 @@ Two forms are recognized, mirroring the classic linter idiom:
 ``disable=all`` (or ``disable-file=all``) suppresses every rule.
 Comments are found with :mod:`tokenize`, so the markers never trigger
 inside string literals.
+
+A third form, ``# cachelint: allow[tag]``, is not a suppression: it
+marks the line as an *intentional* instance of a tagged behaviour for
+the whole-program passes (``allow[nondet]`` keeps a deliberate
+nondeterminism source from seeding determinism-taint propagation).
 """
 
 from __future__ import annotations
@@ -24,6 +29,10 @@ _MARKER = re.compile(
     r"(?P<rules>[A-Za-z0-9_,\-\s]+)"
 )
 
+_ALLOW = re.compile(
+    r"#\s*cachelint:\s*allow\[(?P<tags>[A-Za-z0-9_,\-\s]+)\]"
+)
+
 #: Wildcard accepted in place of a rule id.
 ALL = "all"
 
@@ -35,10 +44,12 @@ class SuppressionMap:
     Attributes:
         by_line: Line number -> rule ids disabled on that line.
         file_wide: Rule ids disabled for the whole file.
+        allows: Line number -> tags granted by ``allow[tag]`` markers.
     """
 
     by_line: dict[int, set[str]] = field(default_factory=dict)
     file_wide: set[str] = field(default_factory=set)
+    allows: dict[int, set[str]] = field(default_factory=dict)
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         """Whether *rule_id* is silenced at *line*."""
@@ -46,6 +57,11 @@ class SuppressionMap:
             return True
         at_line = self.by_line.get(line, ())
         return rule_id in at_line or ALL in at_line
+
+    def is_allowed(self, tag: str, line: int) -> bool:
+        """Whether an ``allow[tag]`` marker covers *line*."""
+        at_line = self.allows.get(line, ())
+        return tag in at_line or ALL in at_line
 
 
 def parse_suppressions(source: str) -> SuppressionMap:
@@ -62,6 +78,14 @@ def parse_suppressions(source: str) -> SuppressionMap:
     for token in tokens:
         if token.type != tokenize.COMMENT:
             continue
+        allow = _ALLOW.search(token.string)
+        if allow is not None:
+            tags = {
+                tag.strip()
+                for tag in allow.group("tags").split(",")
+                if tag.strip()
+            }
+            result.allows.setdefault(token.start[0], set()).update(tags)
         match = _MARKER.search(token.string)
         if match is None:
             continue

@@ -1,0 +1,40 @@
+"""Whole-program analysis: call graph, taint, safety and lockset passes.
+
+The per-file cachelint rules in :mod:`repro.analysis.builtin` check one
+module at a time; the passes here load every module of a package into
+one :class:`~repro.analysis.whole.program.Program`, build an
+import/call graph over it, and check *interprocedural* properties that
+no single file can witness:
+
+* ``determinism-taint`` — no nondeterminism source can flow into a
+  result payload, job id, or provenance digest
+  (:mod:`repro.analysis.whole.taint`);
+* ``fastpath-safety`` — ``fastpath_safe`` cache managers only reach
+  calls in the pure-effect allowlist
+  (:mod:`repro.analysis.whole.fastpath`);
+* ``concurrency-lockset`` — state shared between service threads is
+  consistently locked (:mod:`repro.analysis.whole.lockset`);
+* ``import-cycle`` — the module import graph stays acyclic
+  (:mod:`repro.analysis.whole.graph`).
+
+All four register as :class:`~repro.analysis.core.WholeProgramRule`
+subclasses, so ``repro-lint --deep`` runs them through the ordinary
+engine/suppression/reporter machinery.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.whole.fastpath import FastpathSafetyRule
+from repro.analysis.whole.graph import CallGraph, ImportCycleRule
+from repro.analysis.whole.lockset import ConcurrencyLocksetRule
+from repro.analysis.whole.program import Program
+from repro.analysis.whole.taint import DeterminismTaintRule
+
+__all__ = [
+    "CallGraph",
+    "ConcurrencyLocksetRule",
+    "DeterminismTaintRule",
+    "FastpathSafetyRule",
+    "ImportCycleRule",
+    "Program",
+]

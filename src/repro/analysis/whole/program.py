@@ -1,0 +1,124 @@
+"""Loading a set of parsed modules as one analyzable program.
+
+A :class:`Program` is the unit every whole-program pass consumes: a
+mapping of dotted module names to parsed sources, plus the lazily built
+:class:`~repro.analysis.whole.graph.CallGraph` shared by all passes so
+the symbol table is computed once per engine run, not once per rule.
+
+Module names are derived from the filesystem the same way the import
+system would: a file's dotted name is its path relative to the nearest
+ancestor directory that is *not* a package (has no ``__init__.py``).
+Files outside any package analyze fine as single top-level modules —
+the test fixtures rely on that.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.suppressions import SuppressionMap, parse_suppressions
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module of the program.
+
+    Attributes:
+        name: Dotted module name (``repro.service.scheduler``).
+        path: Source path as given to the engine.
+        tree: Parsed module AST.
+        suppressions: Parsed ``# cachelint:`` markers.
+    """
+
+    name: str
+    path: str
+    tree: ast.Module
+    suppressions: SuppressionMap
+
+
+def module_name_for(path: str | Path) -> str:
+    """The dotted module name *path* would import as.
+
+    Walks up while the parent directory holds an ``__init__.py``; a
+    file in no package is just its stem.
+    """
+    path = Path(path)
+    parts = [path.stem] if path.stem != "__init__" else []
+    current = path.parent
+    while (current / "__init__.py").is_file():
+        parts.insert(0, current.name)
+        parent = current.parent
+        if parent == current:
+            break
+        current = parent
+    if not parts:  # a bare __init__.py outside any package
+        parts = [path.parent.name or path.stem]
+    return ".".join(parts)
+
+
+class Program:
+    """Every module of the analyzed package, plus the shared graph."""
+
+    def __init__(self, modules: dict[str, ModuleInfo]) -> None:
+        self.modules = modules
+        self._graph = None
+
+    @classmethod
+    def load(
+        cls, parsed: list[tuple[str, ast.Module, SuppressionMap]]
+    ) -> "Program":
+        """Build a program from ``(path, tree, suppressions)`` triples
+        (the engine's already-parsed files)."""
+        modules: dict[str, ModuleInfo] = {}
+        for path, tree, suppressions in parsed:
+            name = module_name_for(path)
+            modules[name] = ModuleInfo(
+                name=name, path=path, tree=tree, suppressions=suppressions
+            )
+        return cls(modules)
+
+    @classmethod
+    def from_paths(cls, paths: list[str | Path]) -> "Program":
+        """Parse ``.py`` files under *paths* and load them (the direct
+        entry point used by tests and ``repro-lint --graph``)."""
+        files: list[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                files.extend(
+                    p
+                    for p in sorted(path.rglob("*.py"))
+                    if not any(part.startswith(".") for part in p.parts)
+                )
+            else:
+                files.append(path)
+        parsed = []
+        for file_path in files:
+            source = file_path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source)
+            except SyntaxError:
+                continue  # the per-file engine reports parse errors
+            parsed.append(
+                (str(file_path), tree, parse_suppressions(source))
+            )
+        return cls.load(parsed)
+
+    @property
+    def graph(self):
+        """The shared :class:`~repro.analysis.whole.graph.CallGraph`,
+        built on first access."""
+        if self._graph is None:
+            from repro.analysis.whole.graph import CallGraph
+
+            self._graph = CallGraph.build(self)
+        return self._graph
+
+    def module_for_path(self, path: str) -> ModuleInfo | None:
+        """The module loaded from *path*, if any."""
+        for module in self.modules.values():
+            if module.path == path:
+                return module
+        return None

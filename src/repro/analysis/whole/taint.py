@@ -1,0 +1,335 @@
+"""Interprocedural determinism-taint checking.
+
+The reproduction's headline guarantees — byte-identical ``--jobs``
+output, stable content-addressed job ids, replayable provenance — all
+reduce to one property: *nothing nondeterministic flows into a result
+payload or digest*.  This pass checks it statically:
+
+**Sources** (seeded per function, skipping the sanctioned wall-clock
+files and any line carrying ``# cachelint: allow[nondet]``):
+
+* use of the nondeterministic modules (``time``, ``random``,
+  ``datetime``, ``secrets``, ``uuid``) or ``os.urandom``;
+* the builtin ``id()``;
+* iteration over set-typed expressions (hash-order leaks into results
+  under ``PYTHONHASHSEED``), including ``list``/``tuple``/``next`` over
+  a set — membership tests and ``sorted(...)`` are fine;
+* environment reads (``os.environ[...]`` / ``.get`` / ``os.getenv``)
+  whose key is not a ``REPRO_*`` switch.  Keys named by a module-level
+  string constant are resolved before judging.
+
+**Sinks**: calls to ``ExperimentResult``, ``add_row``,
+``attach_provenance``, ``job_id`` and ``canonical_json`` — matched both
+by resolved call-graph target (so import aliases like
+``job_id as compute_job_id`` count) and by syntactic name (so unresolved
+calls still count).
+
+A sink-calling function violates when the call graph shows it can reach
+a function containing a source: any value computed in the sink call's
+dynamic extent may then be nondeterministic.  The full source→sink call
+path is reported in the violation's trace.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from fnmatch import fnmatch
+
+from repro.analysis.builtin import NONDETERMINISTIC_MODULES, NoNondeterminismRule
+from repro.analysis.core import Severity, Violation, WholeProgramRule, register
+from repro.analysis.whole.graph import CallGraph, FunctionInfo, _dotted_name
+from repro.analysis.whole.program import ModuleInfo, Program
+
+#: ``allow[...]`` tag that marks a deliberate nondeterminism source.
+ALLOW_TAG = "nondet"
+
+#: Call names whose arguments become part of a result payload / digest.
+SINK_NAMES = frozenset(
+    {"ExperimentResult", "add_row", "attach_provenance", "job_id", "canonical_json"}
+)
+
+#: Files allowed to consume wall-clock time (same sanctioned set as the
+#: per-file no-nondeterminism rule).
+SANCTIONED_FILES = NoNondeterminismRule.exempt_paths
+
+#: Calls that materialize an iteration order from their argument.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "next", "iter"})
+
+
+@dataclass(frozen=True)
+class Source:
+    """One nondeterminism source occurrence."""
+
+    line: int
+    desc: str
+
+
+def _sanctioned_path(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return any(fnmatch(normalized, pat) for pat in SANCTIONED_FILES)
+
+
+class _SourceFinder:
+    """Finds nondeterminism sources in one function body."""
+
+    def __init__(
+        self, graph: CallGraph, fn: FunctionInfo, module: ModuleInfo
+    ) -> None:
+        self.graph = graph
+        self.fn = fn
+        self.module = module
+        self.aliases = graph.imports.get(module.name, {})
+        self.constants = graph.module_constants.get(module.name, {})
+        self.sources: list[Source] = []
+        self._set_vars = self._collect_set_vars()
+        self._local_names = self._collect_local_names()
+
+    def find(self) -> list[Source]:
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Call):
+                self._check_call(node)
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                self._check_module_use(node)
+            elif isinstance(node, ast.Subscript):
+                self._check_env_subscript(node)
+            elif isinstance(node, ast.For):
+                self._check_iteration(node.iter)
+            elif isinstance(node, ast.comprehension):
+                self._check_iteration(node.iter)
+        deduped: dict[tuple[int, str], Source] = {}
+        for source in self.sources:
+            deduped.setdefault((source.line, source.desc), source)
+        return [
+            source
+            for source in deduped.values()
+            if not self.module.suppressions.is_allowed(ALLOW_TAG, source.line)
+        ]
+
+    # -- helpers -------------------------------------------------------
+
+    def _alias_target(self, dotted: str | None) -> str | None:
+        """Expand the first segment of *dotted* through import aliases."""
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in self._local_names:
+            return None  # shadowed by a parameter or local
+        target = self.aliases.get(head)
+        if target is None:
+            return None
+        return f"{target}.{rest}" if rest else target
+
+    def _collect_local_names(self) -> set[str]:
+        names: set[str] = set()
+        args = getattr(self.fn.node, "args", None)
+        if args is not None:
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                names.add(arg.arg)
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                names.add(node.id)
+        return names
+
+    def _collect_set_vars(self) -> set[str]:
+        names: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for node in ast.walk(self.fn.node):
+                if not (
+                    isinstance(node, ast.Assign) and len(node.targets) == 1
+                ):
+                    continue
+                target = node.targets[0]
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id not in names
+                    and self._is_set_expr(node.value, names)
+                ):
+                    names.add(target.id)
+                    changed = True
+        return names
+
+    def _is_set_expr(self, node: ast.expr, set_vars: set[str] | None = None) -> bool:
+        if set_vars is None:
+            set_vars = self._set_vars
+        if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in set_vars
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self._is_set_expr(node.left, set_vars) or self._is_set_expr(
+                node.right, set_vars
+            )
+        return False
+
+    # -- source kinds --------------------------------------------------
+
+    def _check_module_use(self, node: ast.expr) -> None:
+        dotted = _dotted_name(node)
+        target = self._alias_target(dotted)
+        if target is None:
+            return
+        root = target.split(".")[0]
+        if root in NONDETERMINISTIC_MODULES:
+            self.sources.append(Source(node.lineno, target))
+        elif target == "os.urandom":
+            self.sources.append(Source(node.lineno, "os.urandom"))
+
+    def _check_call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if (
+                func.id == "id"
+                and node.args
+                and "id" not in self._local_names
+            ):
+                self.sources.append(Source(node.lineno, "id()"))
+            elif func.id in _ORDER_SENSITIVE_CALLS and node.args:
+                if self._is_set_expr(node.args[0]):
+                    self.sources.append(
+                        Source(
+                            node.lineno,
+                            f"{func.id}() over an unordered set",
+                        )
+                    )
+            return
+        dotted = _dotted_name(func)
+        target = self._alias_target(dotted)
+        if target == "os.environ.get" or target == "os.getenv":
+            self._check_env_key(node.args[0] if node.args else None, node.lineno)
+
+    def _check_env_subscript(self, node: ast.Subscript) -> None:
+        target = self._alias_target(_dotted_name(node.value))
+        if target == "os.environ":
+            self._check_env_key(node.slice, node.lineno)
+
+    def _check_env_key(self, key: ast.expr | None, lineno: int) -> None:
+        resolved: str | None = None
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            resolved = key.value
+        elif isinstance(key, ast.Name):
+            resolved = self.constants.get(key.id)
+        if resolved is not None and resolved.startswith("REPRO_"):
+            return
+        shown = resolved if resolved is not None else "<dynamic>"
+        self.sources.append(
+            Source(lineno, f"environment read of non-REPRO_ key {shown!r}")
+        )
+
+    def _check_iteration(self, iterable: ast.expr) -> None:
+        if self._is_set_expr(iterable):
+            self.sources.append(
+                Source(iterable.lineno, "iteration over an unordered set")
+            )
+
+
+@register
+class DeterminismTaintRule(WholeProgramRule):
+    """No nondeterminism source may be reachable from a function that
+    feeds result payloads, job ids, or provenance digests."""
+
+    rule_id = "determinism-taint"
+    description = (
+        "no nondeterministic source (time/random/id()/set iteration/"
+        "non-REPRO_ env read) may reach a result-payload or digest sink"
+    )
+    severity = Severity.ERROR
+
+    def check(self, program: Program) -> list[Violation]:
+        graph = program.graph
+        sources: dict[str, list[Source]] = {}
+        for fn in graph.functions.values():
+            module = program.modules[fn.module]
+            if _sanctioned_path(module.path):
+                continue
+            found = _SourceFinder(graph, fn, module).find()
+            if found:
+                sources[fn.qualname] = sorted(found, key=lambda s: s.line)
+        if not sources:
+            return []
+        edges = graph.edges()
+        reverse: dict[str, set[str]] = {}
+        for caller, callees in edges.items():
+            for callee in callees:
+                reverse.setdefault(callee, set()).add(caller)
+        tainted = graph.reachable_from(set(sources), reverse)
+
+        violations: list[Violation] = []
+        for qual in sorted(graph.functions):
+            if qual not in tainted:
+                continue
+            fn = graph.functions[qual]
+            module = program.modules[fn.module]
+            reported: set[str] = set()
+            for call in fn.calls:
+                sink_name = self._sink_name(graph, call)
+                if sink_name is None or sink_name in reported:
+                    continue
+                reported.add(sink_name)
+                path = graph.shortest_path(qual, set(sources), edges)
+                if path is None:
+                    continue
+                source = sources[path[-1]][0]
+                violations.append(
+                    self._violation(
+                        program, graph, fn, call, sink_name, path, source
+                    )
+                )
+        return violations
+
+    @staticmethod
+    def _sink_name(graph: CallGraph, call) -> str | None:
+        if call.name in SINK_NAMES:
+            return call.name
+        for target in call.targets:
+            last = target.rsplit(".", 1)[-1]
+            if last in SINK_NAMES:
+                return last
+        return None
+
+    def _violation(
+        self, program, graph, fn, call, sink_name, path, source
+    ) -> Violation:
+        source_fn = graph.functions[path[-1]]
+        source_path = program.modules[source_fn.module].path
+        trace = [
+            f"sink '{sink_name}' called in {fn.qualname} "
+            f"({program.modules[fn.module].path}:{call.lineno})"
+        ]
+        for caller_qual, callee_qual in zip(path, path[1:]):
+            caller = graph.functions[caller_qual]
+            line = next(
+                (
+                    c.lineno
+                    for c in caller.calls
+                    if callee_qual in c.targets
+                ),
+                caller.lineno,
+            )
+            trace.append(
+                f"{caller_qual} calls {callee_qual} "
+                f"({program.modules[caller.module].path}:{line})"
+            )
+        trace.append(
+            f"source '{source.desc}' in {source_fn.qualname} "
+            f"({source_path}:{source.line})"
+        )
+        return Violation(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=program.modules[fn.module].path,
+            line=call.lineno,
+            col=0,
+            message=(
+                f"nondeterministic source '{source.desc}' "
+                f"({source_path}:{source.line}) can reach the "
+                f"'{sink_name}' sink"
+            ),
+            trace=tuple(trace),
+        )

@@ -78,7 +78,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         except JobQueueFullError as exc:
             self._send_error(503, str(exc))
         else:
-            self._send_json(200, record.to_dict())
+            self._send_json(
+                200, self.server.scheduler.status_dict(record.job_id)
+            )
 
     def do_GET(self) -> None:
         route = self._route()
@@ -98,15 +100,16 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             elif route == ("metrics",):
                 self._send_json(200, scheduler.metrics_dict())
             elif len(route) == 2 and route[0] == "jobs":
-                self._send_json(200, scheduler.status(route[1]).to_dict())
+                self._send_json(200, scheduler.status_dict(route[1]))
             elif len(route) == 2 and route[0] == "results":
-                record = scheduler.status(route[1])
-                if record.state != DONE:
+                status = scheduler.status_dict(route[1])
+                if status["state"] != DONE:
+                    error = status["error"]
                     self._send_error(
                         409,
-                        f"job is {record.state}"
-                        + (f": {record.error}" if record.error else ""),
-                        state=record.state,
+                        f"job is {status['state']}"
+                        + (f": {error}" if error else ""),
+                        state=status["state"],
                     )
                 else:
                     self._send_json(200, scheduler.result(route[1]))

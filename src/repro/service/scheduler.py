@@ -295,6 +295,17 @@ class Scheduler:
             raise JobNotFoundError(f"unknown job id {job_id!r}")
         return record
 
+    def status_dict(self, job_id: str) -> dict:
+        """JSON status for *job_id*, snapshotted under the lock so the
+        HTTP threads never see a record mid-update.
+
+        Raises:
+            JobNotFoundError: for an unknown id.
+        """
+        record = self.status(job_id)
+        with self._lock:
+            return record.to_dict()
+
     def result(self, job_id: str) -> dict:
         """The completed payload for *job_id*.
 
@@ -303,13 +314,16 @@ class Scheduler:
             ServiceError: job not (successfully) finished.
         """
         record = self.status(job_id)
-        if record.state != DONE:
+        with self._lock:
+            state = record.state
+            error = record.error
+            payload = record.payload
+        if state != DONE:
             raise ServiceError(
-                f"job {job_id} is {record.state}"
-                + (f": {record.error}" if record.error else "")
+                f"job {job_id} is {state}" + (f": {error}" if error else "")
             )
-        if record.payload is not None:
-            return record.payload
+        if payload is not None:
+            return payload
         if self.store is not None:
             payload = self.store.get(job_id)
             if payload is not None:
@@ -350,36 +364,46 @@ class Scheduler:
 
     def workers_alive(self) -> int:
         """Worker processes currently alive."""
-        return sum(1 for slot in self._slots if slot.process.is_alive())
+        with self._lock:
+            return sum(
+                1 for slot in self._slots if slot.process.is_alive()
+            )
 
     def metrics_dict(self) -> dict:
-        """Everything ``GET /metrics`` exposes."""
+        """Everything ``GET /metrics`` exposes.
+
+        The whole snapshot is taken under the lock (it is an RLock, so
+        the nested ``workers_alive`` call is fine): the counters must be
+        mutually consistent — a hit rate computed from a torn
+        submitted/cache_hits pair is exactly the kind of divergence the
+        service promises not to produce.
+        """
         with self._lock:
             running = sum(
                 1 for record in self._jobs.values() if record.state == RUNNING
             )
             depth = len(self._pending) + len(self._retry_at)
-        submitted = self.metrics.submitted
-        busy = sum(1 for slot in self._slots if slot.job_id is not None)
-        return {
-            "queue_depth": depth,
-            "jobs_running": running,
-            "jobs_submitted": submitted,
-            "jobs_completed": self.metrics.completed,
-            "jobs_failed": self.metrics.failed,
-            "jobs_retried": self.metrics.retried,
-            "job_timeouts": self.metrics.timeouts,
-            "worker_crashes": self.metrics.worker_crashes,
-            "cache_hits": self.metrics.cache_hits,
-            "cache_hit_rate": (
-                self.metrics.cache_hits / submitted if submitted else 0.0
-            ),
-            "store_errors": self.metrics.store_errors,
-            "workers_total": self.n_workers,
-            "workers_alive": self.workers_alive(),
-            "workers_busy": busy,
-            "worker_utilization": busy / self.n_workers,
-        }
+            submitted = self.metrics.submitted
+            busy = sum(1 for slot in self._slots if slot.job_id is not None)
+            return {
+                "queue_depth": depth,
+                "jobs_running": running,
+                "jobs_submitted": submitted,
+                "jobs_completed": self.metrics.completed,
+                "jobs_failed": self.metrics.failed,
+                "jobs_retried": self.metrics.retried,
+                "job_timeouts": self.metrics.timeouts,
+                "worker_crashes": self.metrics.worker_crashes,
+                "cache_hits": self.metrics.cache_hits,
+                "cache_hit_rate": (
+                    self.metrics.cache_hits / submitted if submitted else 0.0
+                ),
+                "store_errors": self.metrics.store_errors,
+                "workers_total": self.n_workers,
+                "workers_alive": self.workers_alive(),
+                "workers_busy": busy,
+                "worker_utilization": busy / self.n_workers,
+            }
 
     # ------------------------------------------------------------------
     # Bookkeeping threads
@@ -389,7 +413,9 @@ class Scheduler:
         """Drain every worker's event queue into the job table."""
         while not self._stop.is_set():
             drained = False
-            for slot_index, slot in enumerate(self._slots):
+            with self._lock:
+                slots = list(self._slots)
+            for slot_index, slot in enumerate(slots):
                 try:
                     event = slot.events.get_nowait()
                 except (queue_module.Empty, OSError):
@@ -419,7 +445,8 @@ class Scheduler:
             try:
                 self.store.put(jid, event[2])
             except OSError:
-                self.metrics.store_errors += 1
+                with self._lock:
+                    self.metrics.store_errors += 1
 
     def _register_failure(self, record: JobRecord, message: str) -> None:
         """Retry with backoff, or give up.  Caller holds the lock.
@@ -498,6 +525,16 @@ class Scheduler:
         for slot_index, slot in enumerate(self._slots):
             if slot.process.is_alive():
                 continue
+            # A worker that finished its assignment and then died may
+            # still have the result sitting in its event queue; collect
+            # it before judging the death a crash, so completed work is
+            # never retried (the lock is re-entrant).
+            while True:
+                try:
+                    event = slot.events.get_nowait()
+                except (queue_module.Empty, OSError):
+                    break
+                self._handle_event(slot_index, event)
             exitcode = slot.process.exitcode
             self.metrics.worker_crashes += 1
             jid = slot.job_id

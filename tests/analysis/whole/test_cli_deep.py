@@ -1,0 +1,72 @@
+"""``repro-lint --deep`` and ``--graph`` behaviour."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.cli import main
+
+from tests.analysis.whole.test_graph import write_pkg
+
+TAINTED = {
+    "exp.py": (
+        "def run():\n"
+        "    payload = {'x': 1}\n"
+        "    return ExperimentResult(payload)\n"
+    ),
+    "clock.py": "x = 1\n",
+}
+
+TAINTED["exp.py"] = (
+    "import time  # cachelint: disable=no-nondeterminism\n"
+    "def run():\n"
+    "    payload = {'at': time.time()}\n"
+    "    return ExperimentResult(payload)\n"
+)
+
+
+class TestDeepFlag:
+    def test_default_run_skips_whole_program_rules(self, tmp_path, capsys):
+        pkg = write_pkg(tmp_path, TAINTED)
+        assert main([str(pkg)]) == 0
+        assert "determinism-taint" not in capsys.readouterr().out
+
+    def test_deep_runs_the_whole_program_passes(self, tmp_path, capsys):
+        pkg = write_pkg(tmp_path, TAINTED)
+        assert main(["--deep", str(pkg)]) == 1
+        out = capsys.readouterr().out
+        assert "determinism-taint" in out
+        # The source→sink path is rendered under the violation.
+        assert "sink 'ExperimentResult'" in out
+        assert "source 'time.time'" in out
+
+    def test_selecting_a_whole_rule_implies_deep(self, tmp_path, capsys):
+        pkg = write_pkg(tmp_path, TAINTED)
+        assert main(["--select", "determinism-taint", str(pkg)]) == 1
+        assert "determinism-taint" in capsys.readouterr().out
+
+    def test_deep_json_carries_traces(self, tmp_path, capsys):
+        pkg = write_pkg(tmp_path, TAINTED)
+        assert main(["--deep", "--format", "json", str(pkg)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        (violation,) = [
+            v
+            for v in payload["violations"]
+            if v["rule"] == "determinism-taint"
+        ]
+        assert violation["trace"][0].startswith("sink 'ExperimentResult'")
+        assert payload["summary"]["elapsed_seconds"] >= 0
+
+
+class TestGraphVerb:
+    def test_graph_dump(self, tmp_path, capsys):
+        pkg = write_pkg(
+            tmp_path,
+            {"a.py": "def f():\n    return 1\n"},
+        )
+        out = tmp_path / "graph.json"
+        assert main(["--graph", str(out), str(pkg)]) == 0
+        assert "wrote call graph" in capsys.readouterr().out
+        data = json.loads(out.read_text())
+        assert "pkg.a.f" in data["functions"]
+        assert data["modules"]["pkg.a"]["path"].endswith("a.py")

@@ -1,0 +1,106 @@
+"""Fastpath-safety: hook closures of ``fastpath_safe`` managers."""
+
+from __future__ import annotations
+
+from repro.analysis.whole.fastpath import FastpathSafetyRule
+from repro.analysis.whole.program import Program
+
+from tests.analysis.whole.test_graph import write_pkg
+
+
+def check(tmp_path, files):
+    program = Program.from_paths([write_pkg(tmp_path, files)])
+    return FastpathSafetyRule().check(program)
+
+
+class TestFastpathSafety:
+    def test_allowlisted_closure_is_clean(self, tmp_path):
+        assert (
+            check(
+                tmp_path,
+                {
+                    "mgr.py": (
+                        "class Manager:\n"
+                        "    fastpath_safe = True\n"
+                        "    def on_hit(self, cache, trace):\n"
+                        "        cache.touch(trace)\n"
+                        "        return self._count(trace)\n"
+                        "    def _count(self, trace):\n"
+                        "        return len(trace)\n"
+                    ),
+                },
+            )
+            == []
+        )
+
+    def test_disallowed_call_is_reported_with_hook_path(self, tmp_path):
+        violations = check(
+            tmp_path,
+            {
+                "mgr.py": (
+                    "class Manager:\n"
+                    "    fastpath_safe = True\n"
+                    "    def on_hit(self, cache, trace):\n"
+                    "        return self._log(trace)\n"
+                    "    def _log(self, trace):\n"
+                    "        print(trace)\n"
+                ),
+            },
+        )
+        (violation,) = violations
+        assert violation.rule_id == "fastpath-safety"
+        assert "'print'" in violation.message
+        assert "hook 'on_hit'" in violation.message
+        assert violation.trace[0].startswith("pkg.mgr.Manager.on_hit")
+        assert violation.trace[-1].startswith("call 'print'")
+
+    def test_unsafe_manager_is_not_checked(self, tmp_path):
+        assert (
+            check(
+                tmp_path,
+                {
+                    "mgr.py": (
+                        "class Manager:\n"
+                        "    fastpath_safe = False\n"
+                        "    def on_hit(self, cache, trace):\n"
+                        "        print(trace)\n"
+                    ),
+                },
+            )
+            == []
+        )
+
+    def test_flag_is_inherited_through_the_mro(self, tmp_path):
+        violations = check(
+            tmp_path,
+            {
+                "mgr.py": (
+                    "class Base:\n"
+                    "    fastpath_safe = True\n"
+                    "    def on_hit(self, cache, trace):\n"
+                    "        return None\n"
+                    "class Child(Base):\n"
+                    "    def on_hit(self, cache, trace):\n"
+                    "        print(trace)\n"
+                ),
+            },
+        )
+        assert any("Child" in v.message for v in violations)
+
+    def test_exceptions_are_allowed(self, tmp_path):
+        assert (
+            check(
+                tmp_path,
+                {
+                    "mgr.py": (
+                        "class Manager:\n"
+                        "    fastpath_safe = True\n"
+                        "    def on_hit(self, cache, trace):\n"
+                        "        if trace is None:\n"
+                        "            raise ValueError('no trace')\n"
+                        "        return cache.touch(trace)\n"
+                    ),
+                },
+            )
+            == []
+        )

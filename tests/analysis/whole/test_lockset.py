@@ -1,0 +1,194 @@
+"""Concurrency-lockset: shared-state detection across thread roots."""
+
+from __future__ import annotations
+
+from repro.analysis.whole.lockset import ConcurrencyLocksetRule, find_roots
+from repro.analysis.whole.program import Program
+
+from tests.analysis.whole.test_graph import write_pkg
+
+
+def check(tmp_path, files):
+    program = Program.from_paths([write_pkg(tmp_path, files)])
+    return ConcurrencyLocksetRule().check(program)
+
+
+UNLOCKED = {
+    "svc.py": (
+        "import threading\n"
+        "class Service:\n"
+        "    def __init__(self):\n"
+        "        self.count: int = 0\n"
+        "        self._lock = threading.Lock()\n"
+        "    def start(self):\n"
+        "        threading.Thread(target=self._worker).start()\n"
+        "        threading.Thread(target=self._reporter).start()\n"
+        "    def _worker(self):\n"
+        "        self.count += 1\n"
+        "    def _reporter(self):\n"
+        "        return self.count\n"
+    ),
+}
+
+
+class TestLocksetBasics:
+    def test_unlocked_shared_counter_is_flagged(self, tmp_path):
+        violations = check(tmp_path, UNLOCKED)
+        (violation,) = violations
+        assert violation.rule_id == "concurrency-lockset"
+        assert "'pkg.svc.Service.count'" in violation.message
+        assert "2 thread roots" in violation.message
+        assert any(step.startswith("root path:") for step in violation.trace)
+
+    def test_consistent_locking_is_clean(self, tmp_path):
+        assert (
+            check(
+                tmp_path,
+                {
+                    "svc.py": (
+                        "import threading\n"
+                        "class Service:\n"
+                        "    def __init__(self):\n"
+                        "        self.count: int = 0\n"
+                        "        self._lock = threading.Lock()\n"
+                        "    def start(self):\n"
+                        "        threading.Thread(target=self._worker).start()\n"
+                        "        threading.Thread(target=self._reporter).start()\n"
+                        "    def _worker(self):\n"
+                        "        with self._lock:\n"
+                        "            self.count += 1\n"
+                        "    def _reporter(self):\n"
+                        "        with self._lock:\n"
+                        "            return self.count\n"
+                    ),
+                },
+            )
+            == []
+        )
+
+    def test_caller_held_lock_covers_the_helper(self, tmp_path):
+        # The helper touches state unlocked, but every call path from a
+        # root enters it with the lock held.
+        assert (
+            check(
+                tmp_path,
+                {
+                    "svc.py": (
+                        "import threading\n"
+                        "class Service:\n"
+                        "    def __init__(self):\n"
+                        "        self.count: int = 0\n"
+                        "        self._lock = threading.Lock()\n"
+                        "    def start(self):\n"
+                        "        threading.Thread(target=self._worker).start()\n"
+                        "        threading.Thread(target=self._reporter).start()\n"
+                        "    def _bump(self):\n"
+                        "        self.count += 1\n"
+                        "    def _worker(self):\n"
+                        "        with self._lock:\n"
+                        "            self._bump()\n"
+                        "    def _reporter(self):\n"
+                        "        with self._lock:\n"
+                        "            return self.count\n"
+                    ),
+                },
+            )
+            == []
+        )
+
+    def test_single_root_never_races(self, tmp_path):
+        assert (
+            check(
+                tmp_path,
+                {
+                    "svc.py": (
+                        "import threading\n"
+                        "class Service:\n"
+                        "    def __init__(self):\n"
+                        "        self.count: int = 0\n"
+                        "    def start(self):\n"
+                        "        threading.Thread(target=self._worker).start()\n"
+                        "    def _worker(self):\n"
+                        "        self.count += 1\n"
+                    ),
+                },
+            )
+            == []
+        )
+
+    def test_read_only_sharing_is_clean(self, tmp_path):
+        assert (
+            check(
+                tmp_path,
+                {
+                    "svc.py": (
+                        "import threading\n"
+                        "class Service:\n"
+                        "    def __init__(self):\n"
+                        "        self.limit: int = 8\n"
+                        "    def start(self):\n"
+                        "        threading.Thread(target=self._a).start()\n"
+                        "        threading.Thread(target=self._b).start()\n"
+                        "    def _a(self):\n"
+                        "        return self.limit\n"
+                        "    def _b(self):\n"
+                        "        return self.limit * 2\n"
+                    ),
+                },
+            )
+            == []
+        )
+
+
+class TestRootDiscovery:
+    def test_http_handlers_and_thread_targets_are_roots(self, tmp_path):
+        pkg = write_pkg(
+            tmp_path,
+            {
+                "web.py": (
+                    "import threading\n"
+                    "from http.server import BaseHTTPRequestHandler\n"
+                    "class Handler(BaseHTTPRequestHandler):\n"
+                    "    def do_GET(self):\n"
+                    "        return None\n"
+                    "def spawn(fn):\n"
+                    "    threading.Thread(target=fn)\n"
+                    "def run():\n"
+                    "    spawn(tick)\n"
+                    "def tick():\n"
+                    "    return 1\n"
+                ),
+            },
+        )
+        roots = find_roots(Program.from_paths([pkg]).graph)
+        assert roots.get("pkg.web.Handler.do_GET") == "http-handler"
+
+    def test_http_handler_racing_a_thread_is_flagged(self, tmp_path):
+        violations = check(
+            tmp_path,
+            {
+                "web.py": (
+                    "import threading\n"
+                    "from http.server import BaseHTTPRequestHandler\n"
+                    "STATE = {}\n"
+                    "class Handler(BaseHTTPRequestHandler):\n"
+                    "    def do_GET(self):\n"
+                    "        return STATE.get('value')\n"
+                    "def loop():\n"
+                    "    STATE['value'] = 1\n"
+                    "def run():\n"
+                    "    threading.Thread(target=loop).start()\n"
+                ),
+            },
+        )
+        (violation,) = violations
+        assert "'pkg.web.STATE'" in violation.message
+
+
+class TestServiceLayerIsClean:
+    def test_src_repro_has_no_lockset_findings(self):
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[3]
+        program = Program.from_paths([repo_root / "src" / "repro"])
+        assert ConcurrencyLocksetRule().check(program) == []

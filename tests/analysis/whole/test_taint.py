@@ -1,0 +1,182 @@
+"""Determinism-taint: sources, sinks, interprocedural paths,
+suppressions."""
+
+from __future__ import annotations
+
+from repro.analysis.engine import analyze
+from repro.analysis.whole.program import Program
+from repro.analysis.whole.taint import DeterminismTaintRule
+
+from tests.analysis.whole.test_graph import write_pkg
+
+
+def check(tmp_path, files):
+    program = Program.from_paths([write_pkg(tmp_path, files)])
+    return DeterminismTaintRule().check(program)
+
+
+class TestDirectTaint:
+    def test_wall_clock_into_result_payload_is_caught(self, tmp_path):
+        # The canonical regression: time.time() feeding an
+        # ExperimentResult payload must be flagged.
+        violations = check(
+            tmp_path,
+            {
+                "exp.py": (
+                    "import time\n"
+                    "def run():\n"
+                    "    payload = {'elapsed': time.time()}\n"
+                    "    return ExperimentResult(payload)\n"
+                ),
+            },
+        )
+        (violation,) = violations
+        assert violation.rule_id == "determinism-taint"
+        assert "time.time" in violation.message
+        assert "'ExperimentResult' sink" in violation.message
+        assert violation.trace[0].startswith("sink 'ExperimentResult'")
+        assert violation.trace[-1].startswith("source 'time.time'")
+
+    def test_clean_function_is_silent(self, tmp_path):
+        assert (
+            check(
+                tmp_path,
+                {
+                    "ok.py": (
+                        "def run(seed):\n"
+                        "    return ExperimentResult({'seed': seed})\n"
+                    ),
+                },
+            )
+            == []
+        )
+
+
+class TestInterproceduralTaint:
+    def test_source_reached_through_helper_module(self, tmp_path):
+        violations = check(
+            tmp_path,
+            {
+                "clock.py": (
+                    "import time\n"
+                    "def stamp():\n"
+                    "    return time.time()\n"
+                ),
+                "exp.py": (
+                    "from pkg.clock import stamp as now\n"
+                    "def run():\n"
+                    "    return ExperimentResult({'at': now()})\n"
+                ),
+            },
+        )
+        (violation,) = violations
+        hops = [step for step in violation.trace if " calls " in step]
+        assert any("pkg.clock.stamp" in hop for hop in hops)
+        assert violation.trace[-1].startswith("source 'time.time'")
+
+    def test_aliased_sink_call_is_matched(self, tmp_path):
+        # ``from .jobs import job_id as compute_job_id`` — the sink is
+        # found via the resolved call target, not the local name.
+        violations = check(
+            tmp_path,
+            {
+                "jobs.py": "def job_id(spec):\n    return str(spec)\n",
+                "sched.py": (
+                    "import random\n"
+                    "from pkg.jobs import job_id as compute_job_id\n"
+                    "def admit(spec):\n"
+                    "    jitter = random.random()\n"
+                    "    return compute_job_id(spec), jitter\n"
+                ),
+            },
+        )
+        assert any("'job_id' sink" in v.message for v in violations)
+
+
+class TestSourceKinds:
+    def test_set_iteration_is_a_source_but_sorted_is_not(self, tmp_path):
+        violations = check(
+            tmp_path,
+            {
+                "bad.py": (
+                    "def run(items):\n"
+                    "    seen = set(items)\n"
+                    "    rows = [x for x in seen]\n"
+                    "    return ExperimentResult({'rows': rows})\n"
+                ),
+                "good.py": (
+                    "def run(items):\n"
+                    "    seen = set(items)\n"
+                    "    rows = [x for x in sorted(seen)]\n"
+                    "    return ExperimentResult({'rows': rows})\n"
+                ),
+            },
+        )
+        assert len(violations) == 1
+        assert violations[0].path.endswith("bad.py")
+        assert "unordered set" in violations[0].message
+
+    def test_env_reads_outside_repro_namespace(self, tmp_path):
+        violations = check(
+            tmp_path,
+            {
+                "env.py": (
+                    "import os\n"
+                    "KEY = 'REPRO_CACHE_DIR'\n"
+                    "def good():\n"
+                    "    return ExperimentResult({'d': os.environ.get(KEY)})\n"
+                    "def bad():\n"
+                    "    return ExperimentResult({'h': os.environ['HOME']})\n"
+                ),
+            },
+        )
+        (violation,) = violations
+        assert "'HOME'" in violation.message
+
+    def test_id_builtin_is_a_source(self, tmp_path):
+        violations = check(
+            tmp_path,
+            {
+                "ids.py": (
+                    "def run(obj):\n"
+                    "    return ExperimentResult({'tag': id(obj)})\n"
+                ),
+            },
+        )
+        (violation,) = violations
+        assert "id()" in violation.message
+
+
+class TestSuppression:
+    def test_allow_nondet_marks_an_intentional_source(self, tmp_path):
+        assert (
+            check(
+                tmp_path,
+                {
+                    "exp.py": (
+                        "import time\n"
+                        "def run():\n"
+                        "    at = time.time()  # cachelint: allow[nondet]\n"
+                        "    return ExperimentResult({'at': at})\n"
+                    ),
+                },
+            )
+            == []
+        )
+
+    def test_disable_comment_suppresses_via_the_engine(self, tmp_path):
+        pkg = write_pkg(
+            tmp_path,
+            {
+                "exp.py": (
+                    "import time  # cachelint: disable=no-nondeterminism\n"
+                    "def run():\n"
+                    "    at = time.time()\n"
+                    "    return ExperimentResult({'at': at})"
+                    "  # cachelint: disable=determinism-taint\n"
+                ),
+            },
+        )
+        report = analyze([pkg])
+        assert [v.rule_id for v in report.violations] == []
+        assert report.suppressed >= 2
