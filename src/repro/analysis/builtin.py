@@ -501,3 +501,79 @@ class MutableDefaultRule(Rule):
             and isinstance(node.func, ast.Name)
             and node.func.id in self._MUTABLE_CALLS
         )
+
+
+@register
+class ScenariosDeterminismRule(Rule):
+    """Scenario search must replay bit-for-bit from ``(seed, name)``:
+    calibration walks and fuzz campaigns are institutionalized as
+    content-addressed artifacts whose recorded outcomes are re-checked
+    forever after, so a stray wall-clock read in an objective or a
+    privately-constructed RNG silently breaks every future replay.
+    Randomness enters :mod:`repro.scenarios` only through
+    :func:`repro.rand.substream` handles passed down the call tree."""
+
+    rule_id = "scenarios-determinism"
+    description = (
+        "repro.scenarios must not read wall clocks, construct Random "
+        "objects, or reseed streams; derive all randomness via "
+        "repro.rand.substream"
+    )
+    severity = Severity.ERROR
+    include_paths = ("*repro/scenarios/*",)
+
+    #: Callable names that read ambient time (module functions and
+    #: datetime classmethods alike — matched as bare names or
+    #: attributes, so ``time.monotonic()`` and ``datetime.now()`` both
+    #: trip).
+    _CLOCK_CALLS = frozenset(
+        {
+            "time",
+            "time_ns",
+            "monotonic",
+            "monotonic_ns",
+            "perf_counter",
+            "perf_counter_ns",
+            "process_time",
+            "process_time_ns",
+            "localtime",
+            "gmtime",
+            "now",
+            "today",
+            "utcnow",
+        }
+    )
+
+    #: RNG constructors; scenario code takes streams as arguments
+    #: (ultimately from repro.rand.substream) instead of building them.
+    _RNG_CONSTRUCTORS = frozenset({"Random", "SystemRandom"})
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        else:
+            return
+        if name in self._CLOCK_CALLS:
+            ctx.report(
+                self,
+                node,
+                f"wall-clock call {name}() in repro.scenarios; objectives "
+                "and mutators must depend only on (seed, profile)",
+            )
+        elif name in self._RNG_CONSTRUCTORS:
+            ctx.report(
+                self,
+                node,
+                f"direct {name}() construction in repro.scenarios; take a "
+                "stream from repro.rand.substream instead",
+            )
+        elif name == "seed" and isinstance(func, ast.Attribute):
+            ctx.report(
+                self,
+                node,
+                "reseeding a stream in repro.scenarios breaks substream "
+                "independence; derive a fresh substream instead",
+            )

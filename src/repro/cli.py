@@ -13,6 +13,9 @@ Examples::
     repro-gencache submit figure-9 --quick   # run a job over HTTP
     repro-gencache status <job-id>           # poll one job
     repro-gencache fetch <job-id>            # print a finished table
+
+    repro-gencache calibrate word --from-profile gzip   # inverse synthesis
+    repro-gencache fuzz --victim generational --reference unified
 """
 
 from __future__ import annotations
@@ -61,7 +64,7 @@ DEFAULT_STORE = os.path.join("~", ".cache", "repro-gencache", "results")
 
 def _cmd_list(_args: argparse.Namespace) -> int:
     print(f"{'name':12s} {'suite':12s} {'size':>10s} {'secs':>7s} {'unmap%':>7s}  description")
-    for profile in all_profiles():
+    for profile in all_profiles(include_scenarios=True):
         print(
             f"{profile.name:12s} {profile.suite:12s} "
             f"{format_bytes(profile.total_trace_bytes):>10s} "
@@ -274,6 +277,138 @@ def _cmd_record(args: argparse.Namespace) -> int:
         f"({format_bytes(log.total_trace_bytes)}) to {args.output}"
         f"{' [binary]' if args.binary else ''}"
     )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Scenario search commands
+# ----------------------------------------------------------------------
+
+#: --quick calibration: evaluation budget and the core parameter
+#: subset the quick search is restricted to.
+QUICK_CALIBRATE_BUDGET = 24
+QUICK_CALIBRATE_PARAMETERS = (
+    "total_trace_kb",
+    "duration_seconds",
+    "unmap_fraction",
+    "lifetime_short",
+    "lifetime_long",
+)
+
+
+def _load_target(args: argparse.Namespace):
+    """The :class:`ScenarioTarget` a ``calibrate`` invocation fits."""
+    from repro.scenarios.targets import ScenarioTarget, target_from_profile
+
+    if (args.target is None) == (args.from_profile is None):
+        raise ConfigError(
+            "calibrate needs exactly one of --target FILE or "
+            "--from-profile NAME"
+        )
+    if args.target is not None:
+        try:
+            with open(args.target, "r", encoding="utf-8") as stream:
+                data = json.load(stream)
+        except OSError as exc:
+            raise ConfigError(f"cannot read target {args.target}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"target {args.target} is not valid JSON: {exc}"
+            ) from exc
+        return ScenarioTarget.from_dict(data)
+    return target_from_profile(
+        get_profile(args.from_profile), args.seed, args.scale
+    )
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.scenarios.artifact import from_calibration
+    from repro.scenarios.calibrate import calibrate
+
+    if args.scale <= 0:
+        raise ConfigError(f"--scale must be positive, got {args.scale:g}")
+    base = get_profile(args.benchmark)
+    if args.emit_target:
+        from repro.scenarios.targets import target_from_profile
+
+        target = target_from_profile(base, args.seed, args.scale)
+        rendered = json.dumps(target.to_dict(), indent=2, sort_keys=True)
+        with open(args.emit_target, "w", encoding="utf-8") as stream:
+            stream.write(rendered + "\n")
+        print(f"target for {base.name} written to {args.emit_target}")
+        return 0
+    target = _load_target(args)
+    budget = args.budget
+    parameters = (
+        tuple(args.parameters.split(",")) if args.parameters else None
+    )
+    if args.quick:
+        budget = min(budget, QUICK_CALIBRATE_BUDGET)
+        if parameters is None:
+            parameters = QUICK_CALIBRATE_PARAMETERS
+    result = calibrate(
+        target,
+        base,
+        seed=args.seed,
+        scale=args.scale,
+        budget=budget,
+        tolerance=args.tolerance,
+        parameters=parameters,
+    )
+    artifact = from_calibration(result, target.name)
+    print(
+        f"calibrated {base.name} -> {target.name}: objective "
+        f"{result.best_objective:.4f} "
+        f"({'converged' if result.converged else 'budget exhausted'} "
+        f"after {result.evaluations} evaluations)"
+    )
+    for key, value in sorted(result.components.items()):
+        print(f"  {key:15s} {value:.4f}")
+    if args.out:
+        path = artifact.save(os.path.expanduser(args.out))
+        print(f"artifact {artifact.scenario_id} written to {path}")
+    else:
+        print(artifact.to_json(), end="")
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.scenarios.artifact import from_counterexample
+    from repro.scenarios.fuzz import fuzz
+
+    result = fuzz(
+        victim=args.victim,
+        reference=args.reference,
+        seed=args.seed,
+        scale=args.scale,
+        rounds=args.rounds,
+        bases=tuple(args.base.split(",")),
+        min_regret=args.min_regret,
+    )
+    print(
+        f"fuzzed {result.victim} vs {result.reference}: "
+        f"{len(result.counterexamples)} counterexample(s) from "
+        f"{result.candidates} candidate(s) over {result.rounds} round(s); "
+        f"best regret {result.best_regret * 100:.2f}%"
+    )
+    for cx in result.counterexamples:
+        artifact = from_counterexample(cx)
+        print(
+            f"  {artifact.name}: regret "
+            f"{artifact.expected_regret * 100:.2f}% at fraction "
+            f"{cx.capacity_fraction:g} "
+            f"(mutators: {', '.join(cx.mutators)}; "
+            f"{cx.shrink_steps} shrink step(s))"
+        )
+        if args.out:
+            path = artifact.save(os.path.expanduser(args.out))
+            print(f"    written to {path}")
+    if not result.counterexamples:
+        print(
+            "  no candidate cleared the regret threshold "
+            f"({args.min_regret * 100:.2f}%); try more --rounds or "
+            "another --reference"
+        )
     return 0
 
 
@@ -507,6 +642,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the compact varint binary format instead of text",
     )
 
+    calibrate_parser = sub.add_parser(
+        "calibrate",
+        help="fit a profile's parameters to a target statistic "
+        "(inverse workload synthesis)",
+    )
+    calibrate_parser.add_argument(
+        "benchmark", help="base profile the search starts from"
+    )
+    calibrate_parser.add_argument(
+        "--target", default=None, metavar="FILE",
+        help="scenario-target JSON to fit (see 'calibrate --emit-target')",
+    )
+    calibrate_parser.add_argument(
+        "--from-profile", default=None, metavar="NAME",
+        help="fingerprint NAME and use it as the target (round-trip mode)",
+    )
+    calibrate_parser.add_argument(
+        "--emit-target", default=None, metavar="FILE",
+        help="fingerprint the base benchmark, write the target JSON to "
+        "FILE, and exit without searching",
+    )
+    calibrate_parser.add_argument("--seed", type=int, default=42)
+    calibrate_parser.add_argument(
+        "--scale", type=float, default=256.0,
+        help="synthesis scale divisor for candidate evaluation "
+        "(default: 256)",
+    )
+    calibrate_parser.add_argument(
+        "--budget", type=int, default=96, metavar="N",
+        help="candidate-evaluation budget (default: 96)",
+    )
+    calibrate_parser.add_argument(
+        "--tolerance", type=float, default=0.05, metavar="X",
+        help="objective value considered converged (default: 0.05)",
+    )
+    calibrate_parser.add_argument(
+        "--parameters", default=None, metavar="A,B,...",
+        help="restrict the search to these parameter names",
+    )
+    calibrate_parser.add_argument(
+        "--quick", action="store_true",
+        help=f"cap the budget at {QUICK_CALIBRATE_BUDGET} and search only "
+        "the core parameters (smoke-test mode)",
+    )
+    calibrate_parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="save the fitted-profile artifact into DIR "
+        "(default: print JSON to stdout)",
+    )
+
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="search for workloads where one policy loses to another",
+    )
+    fuzz_parser.add_argument(
+        "--victim", default="generational", metavar="NAME",
+        help="contender whose losses the search maximizes "
+        "(default: generational)",
+    )
+    fuzz_parser.add_argument(
+        "--reference", default="unified", metavar="NAME",
+        help="contender it is compared against (default: unified)",
+    )
+    fuzz_parser.add_argument("--seed", type=int, default=42)
+    fuzz_parser.add_argument(
+        "--scale", type=float, default=128.0,
+        help="synthesis scale divisor for candidate evaluation "
+        "(default: 128)",
+    )
+    fuzz_parser.add_argument(
+        "--rounds", type=int, default=24, metavar="N",
+        help="mutation rounds (default: 24)",
+    )
+    fuzz_parser.add_argument(
+        "--min-regret", type=float, default=0.01, metavar="X",
+        help="miss-rate gap (0-1) a counterexample must reach "
+        "(default: 0.01)",
+    )
+    fuzz_parser.add_argument(
+        "--base", default="word,gcc", metavar="A,B,...",
+        help="base profiles mutation starts from (default: word,gcc)",
+    )
+    fuzz_parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="save surviving counterexample artifacts into DIR "
+        "(load them back via REPRO_SCENARIO_DIR)",
+    )
+
     serve_parser = sub.add_parser(
         "serve", help="start the HTTP simulation service"
     )
@@ -582,6 +805,8 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "profile": _cmd_profile,
         "record": _cmd_record,
+        "calibrate": _cmd_calibrate,
+        "fuzz": _cmd_fuzz,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "status": _cmd_status,

@@ -53,8 +53,21 @@ class LogOrderError(LogFormatError):
     """Log records were not in non-decreasing time order."""
 
 
-class WorkloadError(ReproError):
-    """A workload profile or generator was misconfigured."""
+class WorkloadError(ConfigError):
+    """A workload profile or generator was misconfigured.
+
+    Subclasses :class:`ConfigError`: a bad profile *is* a bad
+    configuration, so CLI verbs and the job scheduler treat it as a
+    structured configuration error (exit code 2, no retries) instead
+    of an opaque crash deep inside synthesis.
+    """
+
+
+class ScenarioError(ReproError):
+    """A scenario search (calibration or fuzzing) failed to produce
+    its result — e.g. a fuzz run that was required to surface a
+    counterexample found none, or a scenario artifact references a
+    contender that no longer exists."""
 
 
 class RuntimeStateError(ReproError):

@@ -22,6 +22,7 @@ from repro.experiments import (
     headroom,
     reuse,
     robustness,
+    scenarios,
     shared,
     sweep,
     table01_benchmarks,
@@ -65,6 +66,7 @@ EXTENSION_EXPERIMENT_IDS: tuple[str, ...] = (
     "robustness",
     "reuse",
     "shared",
+    "scenarios",
 )
 
 
@@ -167,6 +169,14 @@ def run_all(
                     quick=bool(subset),
                 )
             )
+        elif experiment_id == "scenarios":
+            results.append(
+                scenarios.run(
+                    seed=seed,
+                    scale_multiplier=scale_multiplier,
+                    quick=bool(subset),
+                )
+            )
         else:
             raise KeyError(f"unknown experiment id {experiment_id!r}")
     return _attach_all(results, seed, scale_multiplier, subset, sweep_benchmark)
@@ -246,9 +256,12 @@ def _run_all_parallel(
     for experiment_id in experiment_ids:
         if experiment_id not in known:
             raise KeyError(f"unknown experiment id {experiment_id!r}")
-    # The shared experiment fans out its own finer-grained shared-mix
-    # jobs, so it runs at this level rather than as one coarse job.
-    remote_ids = tuple(e for e in experiment_ids if e != "shared")
+    # The shared and scenarios experiments fan out their own
+    # finer-grained jobs (shared-mix cells, scenario replays), so they
+    # run at this level rather than as one coarse job each.
+    remote_ids = tuple(
+        e for e in experiment_ids if e not in ("shared", "scenarios")
+    )
     specs = experiment_specs(
         remote_ids,
         seed=seed,
@@ -263,15 +276,25 @@ def _run_all_parallel(
         experiment_id: result_from_dict(payload["result"])
         for experiment_id, payload in zip(remote_ids, payloads)
     }
-    results = [
-        shared.run(
+    local = {
+        "shared": lambda: shared.run(
             seed=seed,
             scale_multiplier=scale_multiplier,
             quick=bool(subset),
             jobs=jobs,
             store=store,
-        )
-        if experiment_id == "shared"
+        ),
+        "scenarios": lambda: scenarios.run(
+            seed=seed,
+            scale_multiplier=scale_multiplier,
+            quick=bool(subset),
+            jobs=jobs,
+            store=store,
+        ),
+    }
+    results = [
+        local[experiment_id]()
+        if experiment_id in local
         else remote[experiment_id]
         for experiment_id in experiment_ids
     ]

@@ -1,0 +1,159 @@
+"""Scenario regression table (extension).
+
+Replays every institutionalized counterexample from
+:mod:`repro.scenarios.registry` and checks that the recorded loss
+still reproduces: each row re-simulates the artifact's profile at its
+*pinned* seed, scale, and capacity fraction (not the experiment's own
+— the artifact is the ground truth) and compares the measured regret
+against the expectation stored at registration time.
+
+``Status`` is ``ok`` when the replay matches the artifact to float
+precision, ``drift`` when it does not — a drift row means a simulator
+or synthesizer change altered behavior on a workload where the paper's
+winning policy is known to lose, which is exactly when a human should
+look.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScenarioError
+from repro.experiments.base import ExperimentResult, attach_provenance
+
+#: Replay must reproduce the recorded regret to this tolerance to be
+#: ``ok`` (float-exact in practice; the epsilon absorbs accumulation
+#: order only).
+REPLAY_TOLERANCE = 1e-9
+
+
+def replay_scenario(name: str) -> dict[str, object]:
+    """Replay one registered counterexample.
+
+    This is the shared unit of work: the serial table loop, the
+    ``scenario`` service job, and the smoke tests all call it, so
+    every execution path produces identical numbers.
+
+    Returns:
+        A JSON-safe dict of the row's metrics.
+    """
+    from repro.scenarios.fuzz import regret_of
+    from repro.scenarios.registry import get_scenario
+
+    artifact = get_scenario(name)
+    if artifact.kind != "counterexample":
+        raise ScenarioError(
+            f"scenario {name!r} is a {artifact.kind} artifact; the "
+            "regression table replays counterexamples only"
+        )
+    regret, victim_miss, reference_miss = regret_of(
+        artifact.profile,
+        artifact.victim,
+        artifact.reference,
+        artifact.seed,
+        artifact.scale,
+        artifact.capacity_fraction,
+    )
+    return {
+        "scenario": name,
+        "scenario_id": artifact.scenario_id,
+        "victim": artifact.victim,
+        "reference": artifact.reference,
+        "capacity_fraction": artifact.capacity_fraction,
+        "seed": artifact.seed,
+        "scale": artifact.scale,
+        "victim_miss_rate": victim_miss,
+        "reference_miss_rate": reference_miss,
+        "regret": regret,
+        "expected_regret": artifact.expected_regret,
+        "status": (
+            "ok"
+            if abs(regret - artifact.expected_regret) <= REPLAY_TOLERANCE
+            else "drift"
+        ),
+    }
+
+
+def run(
+    seed: int = 42,
+    scale_multiplier: float = 1.0,
+    quick: bool = False,
+    jobs: int = 1,
+    store=None,
+) -> ExperimentResult:
+    """The scenario regression table.
+
+    *seed* and *scale_multiplier* are accepted for harness parity but
+    do **not** affect the replays — every row runs at its artifact's
+    pinned seed and scale (noted in the table).  ``--quick`` replays
+    only the first scenario; ``jobs > 1`` fans each replay out as one
+    ``scenario`` service job, reassembling a byte-identical table.
+    """
+    from repro.scenarios.registry import registered
+
+    names = [
+        artifact.name
+        for artifact in registered()
+        if artifact.kind == "counterexample"
+    ]
+    if quick:
+        names = names[:1]
+    if jobs > 1:
+        rows = _parallel_rows(names, jobs, store)
+    else:
+        rows = [replay_scenario(name) for name in names]
+    result = ExperimentResult(
+        experiment_id="scenario-regression",
+        title="Adversarial scenarios: recorded policy losses, replayed",
+        columns=[
+            "Scenario",
+            "Victim",
+            "Reference",
+            "Fraction",
+            "VictimMissPct",
+            "RefMissPct",
+            "RegretPct",
+            "ExpectedPct",
+            "Status",
+        ],
+    )
+    for row in rows:
+        result.add_row(
+            Scenario=row["scenario"],
+            Victim=row["victim"],
+            Reference=row["reference"],
+            Fraction=row["capacity_fraction"],
+            VictimMissPct=round(row["victim_miss_rate"] * 100, 3),
+            RefMissPct=round(row["reference_miss_rate"] * 100, 3),
+            RegretPct=round(row["regret"] * 100, 3),
+            ExpectedPct=round(row["expected_regret"] * 100, 3),
+            Status=row["status"],
+        )
+    drifted = sorted(row["scenario"] for row in rows if row["status"] != "ok")
+    if drifted:
+        result.notes.append(
+            f"DRIFT: {', '.join(drifted)} no longer reproduce their "
+            "recorded regret; inspect before trusting policy conclusions"
+        )
+    result.notes.append(
+        "each row replays at its artifact's pinned (seed, scale, "
+        "fraction); positive regret = victim loses (see docs/scenarios.md)"
+    )
+    return attach_provenance(
+        result,
+        seed,
+        scale_multiplier=scale_multiplier,
+        scenarios=list(names),
+    )
+
+
+def _parallel_rows(
+    names: list[str], jobs: int, store
+) -> list[dict[str, object]]:
+    """Fan every replay out as one ``scenario`` job."""
+    # Imported lazily: repro.service replays through this package, so a
+    # module-level import would cycle.
+    from repro.service.jobs import JobSpec
+    from repro.service.scheduler import run_jobs
+
+    specs = [JobSpec(kind="scenario", scenario=name) for name in names]
+    payloads = run_jobs(specs, workers=jobs, store=store)
+    return [payload["result"] for payload in payloads]

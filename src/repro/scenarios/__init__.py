@@ -1,0 +1,78 @@
+"""Inverse workload synthesis and adversarial scenario search.
+
+Our workload generators run forward: a calibrated
+:class:`~repro.workloads.profiles.WorkloadProfile` produces a trace
+log.  This package inverts the pipeline and then weaponizes the
+inversion:
+
+* :mod:`repro.scenarios.space` — the searchable region of profile
+  space: bounded parameters, encode/decode between profiles and
+  parameter vectors, and the structured mutators (phase storms, unmap
+  storms, churn) the fuzzer composes.
+* :mod:`repro.scenarios.targets` — target statistics (miss-rate-vs-
+  capacity curve, lifetime histogram, insertion rate, unmap fraction),
+  cheap candidate measurement through the fastpath artifact cache, and
+  the weighted curve-distance objective.
+* :mod:`repro.scenarios.calibrate` — the inverse-synthesis loop:
+  deterministic seeded coordinate descent (with annealed random kicks)
+  that fits profile parameters to a target statistic.
+* :mod:`repro.scenarios.fuzz` — adversarial search over profile space
+  maximizing the regret of one cache-management policy against
+  another, with shrinking of surviving counterexamples.
+* :mod:`repro.scenarios.artifact` — content-addressed scenario
+  artifacts (profile + seed + expected regret, sha256-addressed like
+  service job ids).
+* :mod:`repro.scenarios.registry` — institutionalization: surviving
+  counterexamples registered into the workload catalog and replayed by
+  the ``scenarios`` regression experiment.
+
+Everything is deterministic from a master seed via :mod:`repro.rand`;
+the ``scenarios-determinism`` cachelint rule enforces that no wall
+clock or ad-hoc RNG sneaks into the search.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.artifact import ScenarioArtifact, scenario_id
+from repro.scenarios.calibrate import CalibrationResult, calibrate
+from repro.scenarios.fuzz import (
+    CONTENDERS,
+    Counterexample,
+    FuzzResult,
+    fuzz,
+    regret_of,
+)
+from repro.scenarios.registry import ensure_builtin, get_scenario, registered
+from repro.scenarios.space import MUTATORS, SEARCH_PARAMETERS, build_profile
+from repro.scenarios.targets import (
+    ROUND_TRIP_TOLERANCE,
+    ScenarioTarget,
+    WorkloadStatistics,
+    measure_profile,
+    objective,
+    target_from_profile,
+)
+
+__all__ = [
+    "CONTENDERS",
+    "CalibrationResult",
+    "Counterexample",
+    "FuzzResult",
+    "MUTATORS",
+    "ROUND_TRIP_TOLERANCE",
+    "SEARCH_PARAMETERS",
+    "ScenarioArtifact",
+    "ScenarioTarget",
+    "WorkloadStatistics",
+    "build_profile",
+    "calibrate",
+    "ensure_builtin",
+    "fuzz",
+    "get_scenario",
+    "measure_profile",
+    "objective",
+    "registered",
+    "regret_of",
+    "scenario_id",
+    "target_from_profile",
+]

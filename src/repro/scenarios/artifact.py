@@ -1,0 +1,357 @@
+"""Content-addressed scenario artifacts.
+
+A scenario artifact institutionalizes a search outcome — a minimized
+adversarial counterexample or a calibration fit — as a self-contained
+JSON document: the full profile, the synthesis seed and scale it was
+evaluated at, and the expected outcome (regret or objective) a replay
+must reproduce.
+
+Identity follows the service-job idiom: the id is ``"s"`` plus a
+sha256 digest of the canonical JSON payload, truncated to 32 chars.
+Names are *derived from* the digest (``cx-<victim>-vs-<reference>-
+<digest8>``), so the digest is computed over a payload with the names
+blanked — otherwise id and name would chase each other.  Two artifacts
+with the same content always share an id, across processes and
+machines.
+
+Serialization is byte-stable: sorted keys, compact separators, one
+trailing newline.  The determinism tests compare these bytes directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.workloads.profiles import LifetimeMix, WorkloadProfile
+
+#: Recognized artifact kinds.
+ARTIFACT_KINDS = ("counterexample", "calibration")
+
+#: Bumped when the artifact payload layout changes.
+ARTIFACT_FORMAT = 1
+
+
+def profile_to_dict(profile: WorkloadProfile) -> dict:
+    """Serialize a profile (nested lifetime mix included)."""
+    return asdict(profile)
+
+
+def profile_from_dict(data: dict) -> WorkloadProfile:
+    """Reconstruct a profile, revalidating every bound.
+
+    Raises:
+        ConfigError: on missing/unknown fields or out-of-range values
+            (the profile's own ``__post_init__`` checks re-fire here).
+    """
+    if not isinstance(data, dict):
+        raise ConfigError(
+            f"profile payload must be a mapping, got {type(data).__name__}"
+        )
+    fields = dict(data)
+    mix = fields.pop("lifetime_mix", None)
+    if not isinstance(mix, dict):
+        raise ConfigError("profile payload missing lifetime_mix mapping")
+    try:
+        return WorkloadProfile(lifetime_mix=LifetimeMix(**mix), **fields)
+    except TypeError as exc:
+        raise ConfigError(f"malformed profile payload: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ScenarioArtifact:
+    """One institutionalized scenario.
+
+    Attributes:
+        kind: ``"counterexample"`` or ``"calibration"``.
+        name: Catalog name (derived from the content digest for
+            counterexamples).
+        profile: The scenario's workload profile.
+        seed: Synthesis seed the outcome was measured at.
+        scale: Synthesis scale divisor.
+        victim: Losing contender (counterexamples only).
+        reference: Winning contender (counterexamples only).
+        capacity_fraction: Capacity pressure point of the loss
+            (counterexamples only).
+        expected_regret: Regret a replay must reproduce
+            (counterexamples only).
+        objective: Final objective value (calibrations only).
+        target_name: Name of the calibration target (calibrations
+            only).
+        provenance: Free-form origin details (mutators applied, shrink
+            steps, budget spent, ...) — stored but excluded from the
+            identity digest, like experiment notes.
+    """
+
+    kind: str
+    name: str
+    profile: WorkloadProfile
+    seed: int
+    scale: float
+    victim: str | None = None
+    reference: str | None = None
+    capacity_fraction: float | None = None
+    expected_regret: float | None = None
+    objective: float | None = None
+    target_name: str | None = None
+    provenance: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARTIFACT_KINDS:
+            raise ConfigError(
+                f"unknown artifact kind {self.kind!r}; choose from "
+                f"{ARTIFACT_KINDS}"
+            )
+        if not self.name:
+            raise ConfigError("artifact name must be non-empty")
+        if self.scale <= 0:
+            raise ConfigError(f"artifact scale must be positive, got {self.scale}")
+        if self.kind == "counterexample":
+            missing = [
+                label
+                for label, value in (
+                    ("victim", self.victim),
+                    ("reference", self.reference),
+                    ("capacity_fraction", self.capacity_fraction),
+                    ("expected_regret", self.expected_regret),
+                )
+                if value is None
+            ]
+            if missing:
+                raise ConfigError(
+                    f"counterexample artifact missing fields: {missing}"
+                )
+            if self.victim == self.reference:
+                raise ConfigError(
+                    "counterexample victim and reference must differ"
+                )
+            if not 0.0 < self.capacity_fraction <= 1.0:
+                raise ConfigError(
+                    f"capacity_fraction {self.capacity_fraction} outside (0, 1]"
+                )
+
+    @property
+    def scenario_id(self) -> str:
+        return scenario_id(self)
+
+    def to_dict(self) -> dict:
+        """Full payload including the derived id."""
+        payload = self._content_payload(include_names=True)
+        payload["id"] = scenario_id(self)
+        return payload
+
+    def _content_payload(self, include_names: bool) -> dict:
+        """The serialized payload.
+
+        With *include_names* False this is the **identity** payload the
+        digest covers: the profile (name blanked), the evaluation setup
+        (seed, scale, contenders, capacity), and nothing else.  Names
+        are blanked because they *derive from* the digest; measured
+        outcomes (``expected_regret``, ``objective``) are excluded
+        because log synthesis forks its random streams by profile name,
+        so the outcome can only be measured after the name is fixed —
+        including it would make id and name chase each other.
+        """
+        profile = profile_to_dict(self.profile)
+        if not include_names:
+            profile = {**profile, "name": ""}
+        payload = {
+            "format": ARTIFACT_FORMAT,
+            "kind": self.kind,
+            "profile": profile,
+            "seed": self.seed,
+            "scale": self.scale,
+            "victim": self.victim,
+            "reference": self.reference,
+            "capacity_fraction": self.capacity_fraction,
+            "target_name": self.target_name,
+        }
+        if include_names:
+            payload["name"] = self.name
+            payload["expected_regret"] = self.expected_regret
+            payload["objective"] = self.objective
+            payload["provenance"] = dict(sorted(self.provenance.items()))
+        return payload
+
+    def to_json(self) -> str:
+        """Byte-stable serialization (sorted keys + trailing newline)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":")) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioArtifact":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"scenario artifact must be a mapping, got {type(data).__name__}"
+            )
+        if data.get("format", ARTIFACT_FORMAT) != ARTIFACT_FORMAT:
+            raise ConfigError(
+                f"unsupported artifact format {data.get('format')!r} "
+                f"(this build reads format {ARTIFACT_FORMAT})"
+            )
+        required = {"kind", "name", "profile", "seed", "scale"}
+        missing = required - set(data)
+        if missing:
+            raise ConfigError(
+                f"scenario artifact missing fields: {sorted(missing)}"
+            )
+        provenance = data.get("provenance", {})
+        if not isinstance(provenance, dict):
+            raise ConfigError("artifact provenance must be a mapping")
+        try:
+            seed = int(data["seed"])
+            scale = float(data["scale"])
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed artifact numbers: {exc}") from exc
+        artifact = cls(
+            kind=str(data["kind"]),
+            name=str(data["name"]),
+            profile=profile_from_dict(data["profile"]),
+            seed=seed,
+            scale=scale,
+            victim=data.get("victim"),
+            reference=data.get("reference"),
+            capacity_fraction=(
+                None
+                if data.get("capacity_fraction") is None
+                else float(data["capacity_fraction"])
+            ),
+            expected_regret=(
+                None
+                if data.get("expected_regret") is None
+                else float(data["expected_regret"])
+            ),
+            objective=(
+                None if data.get("objective") is None else float(data["objective"])
+            ),
+            target_name=data.get("target_name"),
+            provenance=provenance,
+        )
+        declared = data.get("id")
+        if declared is not None and declared != artifact.scenario_id:
+            raise ConfigError(
+                f"artifact id mismatch: payload says {declared}, content "
+                f"hashes to {artifact.scenario_id}"
+            )
+        return artifact
+
+    def save(self, directory: str | Path) -> Path:
+        """Write ``<scenario_id>.json`` atomically under *directory*."""
+        root = Path(directory)
+        root.mkdir(parents=True, exist_ok=True)
+        path = root / f"{self.scenario_id}.json"
+        fd, tmp_name = tempfile.mkstemp(dir=root, prefix=f".{path.name}.")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as stream:
+                stream.write(self.to_json())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ScenarioArtifact":
+        try:
+            blob = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ConfigError(f"cannot read scenario artifact {path}: {exc}") from exc
+        try:
+            data = json.loads(blob)
+        except ValueError as exc:
+            raise ConfigError(f"scenario artifact {path} is not JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def scenario_id(artifact: ScenarioArtifact) -> str:
+    """Content digest identifying *artifact*: ``"s"`` + sha256 of the
+    canonical identity payload — names blanked (they derive from this
+    digest), measured outcomes and provenance excluded (they are
+    results, not identity)."""
+    payload = artifact._content_payload(include_names=False)
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return "s" + hashlib.sha256(blob.encode("utf-8")).hexdigest()[:31]
+
+
+def counterexample_name(victim: str, reference: str, digest: str) -> str:
+    """Canonical catalog name for a counterexample artifact."""
+    return f"cx-{victim}-vs-{reference}-{digest[1:9]}"
+
+
+def from_counterexample(cx) -> ScenarioArtifact:
+    """Package a :class:`~repro.scenarios.fuzz.Counterexample` as an
+    artifact.
+
+    Profile and artifact are renamed after the content digest, and —
+    because synthesis forks its random streams by profile name — the
+    regret is then **re-measured** on the renamed profile, so a replay
+    of the stored artifact reproduces ``expected_regret`` exactly.
+    """
+    from dataclasses import replace
+
+    from repro.scenarios.fuzz import regret_of
+
+    draft = ScenarioArtifact(
+        kind="counterexample",
+        name="pending",
+        profile=replace(cx.profile, suite="scenario", name="pending"),
+        seed=cx.seed,
+        scale=cx.scale,
+        victim=cx.victim,
+        reference=cx.reference,
+        capacity_fraction=cx.capacity_fraction,
+        expected_regret=cx.regret,
+    )
+    name = counterexample_name(cx.victim, cx.reference, scenario_id(draft))
+    profile = replace(draft.profile, name=name)
+    regret, victim_miss, reference_miss = regret_of(
+        profile, cx.victim, cx.reference, cx.seed, cx.scale, cx.capacity_fraction
+    )
+    return ScenarioArtifact(
+        kind=draft.kind,
+        name=name,
+        profile=profile,
+        seed=draft.seed,
+        scale=draft.scale,
+        victim=draft.victim,
+        reference=draft.reference,
+        capacity_fraction=draft.capacity_fraction,
+        expected_regret=regret,
+        provenance={
+            "mutators": list(cx.mutators),
+            "shrink_steps": cx.shrink_steps,
+            "search_regret": cx.regret,
+            "victim_miss_rate": victim_miss,
+            "reference_miss_rate": reference_miss,
+        },
+    )
+
+
+def from_calibration(result, target_name: str) -> ScenarioArtifact:
+    """Package a :class:`~repro.scenarios.calibrate.CalibrationResult`
+    as an artifact."""
+    from dataclasses import replace
+
+    name = f"fit-{target_name}"
+    return ScenarioArtifact(
+        kind="calibration",
+        name=name,
+        profile=replace(result.best_profile, suite="scenario", name=name),
+        seed=result.seed,
+        scale=result.scale,
+        objective=result.best_objective,
+        target_name=target_name,
+        provenance={
+            "converged": result.converged,
+            "evaluations": result.evaluations,
+            "tolerance": result.tolerance,
+            "components": dict(sorted(result.components.items())),
+        },
+    )

@@ -1,0 +1,227 @@
+"""Inverse workload synthesis: fit a profile to a target statistic.
+
+The search is deliberately simple and fully deterministic from its
+seed: cyclic coordinate descent over :data:`~repro.scenarios.space.
+SEARCH_PARAMETERS` with step halving, escaping local minima through
+annealed random kicks (two-parameter jitters accepted with a
+simulated-annealing criterion).  Candidate evaluation is the expensive
+step; it flows through the fastpath artifact cache
+(:func:`~repro.scenarios.targets.measure_profile`) plus an in-search
+memo table keyed on the rounded parameter vector, so revisited points
+are free.
+
+All randomness comes from one :func:`repro.rand.substream`; the same
+``(target, base, seed, budget)`` always walks the same trajectory and
+returns the same result.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.rand import substream
+from repro.scenarios.space import (
+    SEARCH_PARAMETERS,
+    build_profile,
+    clamp_values,
+    parameter_vector,
+)
+from repro.scenarios.targets import (
+    SCENARIO_TOTALS,
+    ScenarioTarget,
+    WorkloadStatistics,
+    measure_profile,
+    objective,
+)
+from repro.workloads.profiles import WorkloadProfile
+
+#: Default evaluation budget: enough for ~3 full coordinate sweeps over
+#: the 13-dimensional space plus annealing kicks.
+DEFAULT_BUDGET = 96
+
+#: Initial annealing temperature, in objective units.  The objective is
+#: O(0.1) near convergence, so this accepts most early uphill moves and
+#: almost none by the final sweeps.
+INITIAL_TEMPERATURE = 0.08
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of one calibration run.
+
+    Attributes:
+        best_profile: The fitted profile (named after the target).
+        best_values: Its parameter vector.
+        best_objective: Weighted objective at the optimum.
+        components: Per-statistic distances at the optimum.
+        best_statistics: The fitted profile's measured fingerprint.
+        evaluations: Distinct candidate evaluations spent (memoized
+            revisits not counted).
+        converged: True when ``best_objective`` ended at or below the
+            run's tolerance.
+        tolerance: The convergence threshold used.
+        seed: Master seed of the search.
+        scale: Synthesis scale candidates were evaluated at.
+        history: ``(evaluation_index, objective)`` pairs recording each
+            strict improvement, for convergence plots.
+    """
+
+    best_profile: WorkloadProfile
+    best_values: dict[str, float]
+    best_objective: float
+    components: dict[str, float]
+    best_statistics: WorkloadStatistics
+    evaluations: int
+    converged: bool
+    tolerance: float
+    seed: int
+    scale: float
+    history: tuple[tuple[int, float], ...]
+
+
+def _memo_key(values: dict[str, float]) -> tuple[tuple[str, float], ...]:
+    """Stable memo key: rounding collapses float noise so a revisited
+    point costs nothing."""
+    return tuple(sorted((name, round(value, 9)) for name, value in values.items()))
+
+
+def calibrate(
+    target: ScenarioTarget,
+    base: WorkloadProfile,
+    seed: int = 42,
+    scale: float = 64.0,
+    budget: int = DEFAULT_BUDGET,
+    tolerance: float = 0.05,
+    parameters: tuple[str, ...] | None = None,
+) -> CalibrationResult:
+    """Fit *base*'s parameters so its fingerprint matches *target*.
+
+    Args:
+        target: The statistics to reproduce.
+        base: Starting profile (also supplies unsearched fields).
+        seed: Master seed; the whole trajectory derives from it.
+        scale: Synthesis scale divisor for candidate evaluation.
+            Must match the scale the target was measured at for the
+            objective to be meaningful.
+        budget: Maximum candidate evaluations.
+        tolerance: Objective value considered converged.
+        parameters: Restrict the search to these parameter names
+            (default: all of them).  Unknown names raise
+            :class:`ConfigError`.
+
+    Returns:
+        The best candidate found, whether or not it converged.
+    """
+    if budget < 1:
+        raise ConfigError(f"calibration budget must be >= 1, got {budget}")
+    if tolerance <= 0:
+        raise ConfigError(f"tolerance must be positive, got {tolerance}")
+    if scale <= 0:
+        raise ConfigError(f"scale must be positive, got {scale}")
+    searched = list(SEARCH_PARAMETERS)
+    if parameters is not None:
+        known = {spec.name for spec in SEARCH_PARAMETERS}
+        unknown = sorted(set(parameters) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown search parameters {unknown}; choose from "
+                f"{sorted(known)}"
+            )
+        searched = [spec for spec in SEARCH_PARAMETERS if spec.name in parameters]
+        if not searched:
+            raise ConfigError("parameter restriction selects nothing to search")
+
+    rng = substream(seed, "scenarios.calibrate")
+    memo: dict[tuple, tuple[float, dict[str, float], WorkloadStatistics]] = {}
+    spent = 0
+    history: list[tuple[int, float]] = []
+
+    def evaluate(values: dict[str, float]):
+        nonlocal spent
+        key = _memo_key(values)
+        if key in memo:
+            SCENARIO_TOTALS["memo_hits"] += 1
+            return memo[key]
+        spent += 1
+        candidate = build_profile(base, values)
+        measured = measure_profile(
+            candidate, seed, scale, target.statistics.capacity_fractions
+        )
+        total, components = objective(target, measured)
+        memo[key] = (total, components, measured)
+        return memo[key]
+
+    current = clamp_values(parameter_vector(base))
+    current_obj, current_comp, current_stats = evaluate(current)
+    best_values = dict(current)
+    best_obj, best_comp, best_stats = current_obj, current_comp, current_stats
+    history.append((spent, best_obj))
+
+    step_factor = 1.0
+    temperature = INITIAL_TEMPERATURE
+    while spent < budget and best_obj > tolerance:
+        improved_this_sweep = False
+        # One cyclic coordinate-descent sweep.
+        for spec in searched:
+            if spent >= budget or best_obj <= tolerance:
+                break
+            for direction in (1, -1):
+                if spent >= budget:
+                    break
+                candidate = dict(current)
+                stepped = spec.stepped(current[spec.name], direction, step_factor)
+                if stepped == current[spec.name]:
+                    continue
+                candidate[spec.name] = stepped
+                candidate = clamp_values(candidate)
+                cand_obj, cand_comp, cand_stats = evaluate(candidate)
+                if cand_obj < current_obj:
+                    current, current_obj = candidate, cand_obj
+                    current_comp, current_stats = cand_comp, cand_stats
+                    improved_this_sweep = True
+                    if cand_obj < best_obj:
+                        best_values, best_obj = dict(candidate), cand_obj
+                        best_comp, best_stats = cand_comp, cand_stats
+                        history.append((spent, best_obj))
+                    break  # take the first improving direction
+        if best_obj <= tolerance or spent >= budget:
+            break
+        if not improved_this_sweep:
+            # Tighten, and try an annealed two-parameter kick to hop
+            # out of the local minimum.
+            step_factor = max(0.05, step_factor * 0.5)
+            kicked = dict(current)
+            for spec in rng.sample(searched, k=min(2, len(searched))):
+                kicked[spec.name] = spec.jitter(
+                    kicked[spec.name], rng, spread=1.5
+                )
+            kicked = clamp_values(kicked)
+            kick_obj, kick_comp, kick_stats = evaluate(kicked)
+            delta = kick_obj - current_obj
+            if delta < 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+                current, current_obj = kicked, kick_obj
+                current_comp, current_stats = kick_comp, kick_stats
+                if kick_obj < best_obj:
+                    best_values, best_obj = dict(kicked), kick_obj
+                    best_comp, best_stats = kick_comp, kick_stats
+                    history.append((spent, best_obj))
+            temperature *= 0.7
+
+    best_profile = build_profile(
+        base, best_values, name=f"fit-{target.name}"
+    )
+    return CalibrationResult(
+        best_profile=best_profile,
+        best_values=dict(best_values),
+        best_objective=best_obj,
+        components=dict(best_comp),
+        best_statistics=best_stats,
+        evaluations=spent,
+        converged=best_obj <= tolerance,
+        tolerance=tolerance,
+        seed=seed,
+        scale=scale,
+        history=tuple(history),
+    )

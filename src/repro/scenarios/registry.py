@@ -1,0 +1,211 @@
+"""Institutionalized scenarios: the registry behind the catalog.
+
+Surviving counterexamples graduate from fuzz output to *regression
+fixtures*: their artifacts are registered here, which (a) publishes
+their profiles into :mod:`repro.workloads.catalog` under the
+``"scenario"`` suite so every consumer can address them by name, and
+(b) makes them replayable by the ``scenarios`` regression experiment,
+which re-measures each artifact's regret and compares it against the
+recorded expectation.
+
+Three artifact sources feed the registry:
+
+* :data:`BUILTIN_COUNTEREXAMPLES` — artifacts found by seeded fuzz
+  runs during development and checked in as literals (the payloads
+  below were produced by ``repro-gencache fuzz`` with the recorded
+  seeds and survive shrinking);
+* a directory of ``s*.json`` files named by ``REPRO_SCENARIO_DIR``,
+  loaded alongside the builtins;
+* explicit :func:`register` calls (the CLI verbs use this).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.errors import ConfigError, ScenarioError
+from repro.scenarios.artifact import ScenarioArtifact
+
+#: Environment variable naming an extra directory of scenario
+#: artifacts to load at startup.
+ENV_DIR = "REPRO_SCENARIO_DIR"
+
+#: Checked-in survivors of seeded fuzz campaigns.  Each payload is the
+#: byte-stable artifact JSON; ids are content digests, so any edit to a
+#: payload without updating its id fails loading loudly.
+#:
+#: Both were found by ``fuzz(seed=42, scale=128.0, rounds=24)`` from
+#: the gcc base profile under the ``churn`` mutator and survived
+#: shrinking (4 accepted steps each).  The first is the headline
+#: result: at quarter capacity on a churn-heavy compile workload, the
+#: paper's best generational layout loses ~1.5 miss-rate points to a
+#: plain unified cache — promotion traffic evicts short-lived code the
+#: unified cache would have kept.  The second shows the balanced
+#: generational layout losing to a probation-dominant one when almost
+#: nothing lives long enough to earn persistence.
+BUILTIN_COUNTEREXAMPLES: tuple[dict, ...] = (
+    {
+        "capacity_fraction": 0.25,
+        "expected_regret": 0.028259653049804156,
+        "format": 1,
+        "id": "s520b79d88b0655d5dd6955194e37367",
+        "kind": "counterexample",
+        "name": "cx-generational-vs-unified-520b79d8",
+        "profile": {
+            "burst_repeat": 4.0,
+            "code_expansion": 7.4,
+            "default_scale": 4.0,
+            "description": "C compiler",
+            "duration_seconds": 18.53448275862069,
+            "hot_records": 48,
+            "lifetime_mix": {
+                "long": 0.3380073590678904,
+                "medium": 0.11599632096605489,
+                "short": 0.5459963199660547,
+            },
+            "median_trace_bytes": 242,
+            "n_phases": 8,
+            "name": "cx-generational-vs-unified-520b79d8",
+            "pin_fraction": 0.002,
+            "reaccess_long": 8.373975490799122,
+            "reaccess_short": 6.0,
+            "suite": "scenario",
+            "total_trace_kb": 4300.0,
+            "unmap_fraction": 0.0,
+        },
+        "provenance": {
+            "mutators": ["churn"],
+            "reference_miss_rate": 0.13122551762730833,
+            "search_regret": 0.015339233038348082,
+            "shrink_steps": 4,
+            "victim_miss_rate": 0.1594851706771125,
+        },
+        "reference": "unified",
+        "scale": 128.0,
+        "seed": 42,
+        "victim": "generational",
+    },
+    {
+        "capacity_fraction": 0.25,
+        "expected_regret": 0.019781994348001618,
+        "format": 1,
+        "id": "s28a070eb289182469eeac792692b2f1",
+        "kind": "counterexample",
+        "name": "cx-generational-vs-probation-only-28a070eb",
+        "profile": {
+            "burst_repeat": 4.0,
+            "code_expansion": 7.4,
+            "default_scale": 4.0,
+            "description": "C compiler",
+            "duration_seconds": 18.53448275862069,
+            "hot_records": 144,
+            "lifetime_mix": {
+                "long": 0.04162378495252507,
+                "medium": 0.48837621504747497,
+                "short": 0.47,
+            },
+            "median_trace_bytes": 242,
+            "n_phases": 8,
+            "name": "cx-generational-vs-probation-only-28a070eb",
+            "pin_fraction": 0.002,
+            "reaccess_long": 30.0,
+            "reaccess_short": 6.0,
+            "suite": "scenario",
+            "total_trace_kb": 4300.0,
+            "unmap_fraction": 0.0,
+        },
+        "provenance": {
+            "mutators": ["churn"],
+            "reference_miss_rate": 0.050867985466289865,
+            "search_regret": 0.02528199144301828,
+            "shrink_steps": 4,
+            "victim_miss_rate": 0.07064997981429148,
+        },
+        "reference": "probation-only",
+        "scale": 128.0,
+        "seed": 42,
+        "victim": "generational",
+    },
+)
+
+_registry: dict[str, ScenarioArtifact] = {}
+_builtin_loaded = False
+
+
+def register(artifact: ScenarioArtifact, replace: bool = False) -> None:
+    """Add *artifact* to the registry and its profile to the catalog.
+
+    Registration is idempotent for identical content; re-registering a
+    name with different content raises unless *replace*.
+    """
+    from repro.workloads import catalog
+
+    existing = _registry.get(artifact.name)
+    if existing is not None and not replace:
+        if existing.scenario_id == artifact.scenario_id:
+            return
+        raise ConfigError(
+            f"scenario {artifact.name!r} already registered with different "
+            f"content ({existing.scenario_id} vs {artifact.scenario_id}); "
+            "pass replace=True to overwrite"
+        )
+    catalog.register_profile(artifact.profile, replace=replace)
+    _registry[artifact.name] = artifact
+
+
+def load_directory(directory: str | Path) -> tuple[ScenarioArtifact, ...]:
+    """Load and register every ``s*.json`` artifact under *directory*
+    (sorted by filename for a deterministic order)."""
+    root = Path(directory)
+    if not root.is_dir():
+        raise ConfigError(f"scenario directory {root} does not exist")
+    loaded = []
+    for path in sorted(root.glob("s*.json")):
+        artifact = ScenarioArtifact.load(path)
+        register(artifact)
+        loaded.append(artifact)
+    return tuple(loaded)
+
+
+def ensure_builtin() -> None:
+    """Load the checked-in counterexamples (and any ``REPRO_SCENARIO_DIR``
+    directory) exactly once."""
+    global _builtin_loaded
+    if _builtin_loaded:
+        return
+    _builtin_loaded = True  # set first: register() re-enters via catalog
+    for payload in BUILTIN_COUNTEREXAMPLES:
+        register(ScenarioArtifact.from_dict(payload))
+    env = os.environ.get(ENV_DIR)
+    if env:
+        load_directory(env)
+
+
+def registered() -> tuple[ScenarioArtifact, ...]:
+    """Every registered artifact, sorted by name."""
+    ensure_builtin()
+    return tuple(_registry[name] for name in sorted(_registry))
+
+
+def get_scenario(name: str) -> ScenarioArtifact:
+    """Look up one artifact by catalog name.
+
+    Raises:
+        ScenarioError: when no such scenario is registered.
+    """
+    ensure_builtin()
+    artifact = _registry.get(name)
+    if artifact is None:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; registered: {sorted(_registry)}"
+        )
+    return artifact
+
+
+def reset() -> None:
+    """Drop dynamic registrations (test isolation only — the builtins
+    reload on next use)."""
+    global _builtin_loaded
+    _registry.clear()
+    _builtin_loaded = False

@@ -1,0 +1,266 @@
+"""The searchable region of workload-profile space.
+
+Calibration and fuzzing both walk the same bounded parameter space:
+every knob of :class:`~repro.workloads.profiles.WorkloadProfile` that
+shapes cache-management difficulty, with explicit bounds so a search
+can never wander into a profile the synthesizer would choke on.  The
+lifetime mix is searched as two free coordinates (``lifetime_short``
+and ``lifetime_long``); the medium share is the remainder, which keeps
+every decoded mix summing to exactly 1.
+
+Two layers of validation reject bad candidates *early*:
+
+1. :func:`validate_values` checks a parameter vector against the
+   declared bounds and raises a structured
+   :class:`~repro.errors.ConfigError` naming the offending parameter.
+2. :func:`build_profile` decodes the vector into a real profile, whose
+   own ``__post_init__`` bounds checks (rates positive, mix weights
+   summing to 1, non-negative lifetimes) fire at construction instead
+   of deep inside synthesis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+from repro.rand import Random
+from repro.workloads.profiles import LifetimeMix, WorkloadProfile
+
+#: Ceiling on short+long lifetime mass; keeps the decoded medium share
+#: at least 4% so every lifetime class stays populated.
+MAX_EXTREME_LIFETIME_MASS = 0.96
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """One searchable profile dimension.
+
+    Attributes:
+        name: Profile field name (or the ``lifetime_short`` /
+            ``lifetime_long`` pseudo-fields).
+        low: Inclusive lower bound.
+        high: Inclusive upper bound.
+        integer: Round decoded values to ints.
+        log_scale: Search multiplicatively (sizes, rates, counts span
+            orders of magnitude).
+        step: Base coordinate-descent step — a multiplicative factor
+            for log-scale parameters, a fraction of the range
+            otherwise.
+    """
+
+    name: str
+    low: float
+    high: float
+    integer: bool = False
+    log_scale: bool = False
+    step: float = 0.25
+
+    def clamp(self, value: float) -> float:
+        """Clip *value* into bounds (and round integer parameters)."""
+        clipped = min(self.high, max(self.low, value))
+        return float(round(clipped)) if self.integer else clipped
+
+    def validate(self, value: float) -> None:
+        """Raise :class:`ConfigError` when *value* is out of bounds."""
+        if not self.low <= value <= self.high:
+            raise ConfigError(
+                f"scenario parameter {self.name}={value:g} outside "
+                f"[{self.low:g}, {self.high:g}]"
+            )
+
+    def stepped(self, value: float, direction: int, factor: float = 1.0) -> float:
+        """The coordinate-descent neighbour of *value*.
+
+        *direction* is +1/-1; *factor* scales the base step (the
+        calibration loop halves it as the search tightens).
+        """
+        amount = self.step * factor
+        if self.log_scale:
+            candidate = value * (1.0 + amount) if direction > 0 else value / (1.0 + amount)
+        else:
+            candidate = value + direction * amount * (self.high - self.low)
+        return self.clamp(candidate)
+
+    def jitter(self, value: float, rng: Random, spread: float = 1.0) -> float:
+        """A random neighbour of *value* drawn from *rng*."""
+        if self.log_scale:
+            span = math.log(self.high / max(self.low, 1e-12))
+            candidate = value * math.exp(rng.uniform(-1.0, 1.0) * self.step * spread * span / 4.0)
+        else:
+            candidate = value + rng.uniform(-1.0, 1.0) * self.step * spread * (self.high - self.low)
+        return self.clamp(candidate)
+
+
+#: Every searchable dimension, in the deterministic sweep order the
+#: calibration loop and the shrinker both use.
+SEARCH_PARAMETERS: tuple[ParameterSpec, ...] = (
+    ParameterSpec("total_trace_kb", 32.0, 65536.0, log_scale=True),
+    ParameterSpec("duration_seconds", 5.0, 7200.0, log_scale=True),
+    ParameterSpec("code_expansion", 1.5, 12.0),
+    ParameterSpec("unmap_fraction", 0.0, 0.6),
+    ParameterSpec("lifetime_short", 0.02, 0.92),
+    ParameterSpec("lifetime_long", 0.02, 0.92),
+    ParameterSpec("n_phases", 1, 64, integer=True, log_scale=True),
+    ParameterSpec("reaccess_short", 1.0, 64.0, log_scale=True),
+    ParameterSpec("reaccess_long", 2.0, 400.0, log_scale=True),
+    ParameterSpec("burst_repeat", 1.0, 32.0, log_scale=True),
+    ParameterSpec("hot_records", 8, 2000, integer=True, log_scale=True),
+    ParameterSpec("pin_fraction", 0.0, 0.05),
+    ParameterSpec("median_trace_bytes", 32, 2048, integer=True, log_scale=True),
+)
+
+SPECS_BY_NAME: dict[str, ParameterSpec] = {
+    spec.name: spec for spec in SEARCH_PARAMETERS
+}
+
+
+def parameter_vector(profile: WorkloadProfile) -> dict[str, float]:
+    """Encode *profile* as an ordered parameter vector."""
+    values: dict[str, float] = {}
+    for spec in SEARCH_PARAMETERS:
+        if spec.name == "lifetime_short":
+            values[spec.name] = profile.lifetime_mix.short
+        elif spec.name == "lifetime_long":
+            values[spec.name] = profile.lifetime_mix.long
+        else:
+            values[spec.name] = float(getattr(profile, spec.name))
+    return values
+
+
+def validate_values(values: dict[str, float]) -> None:
+    """Check a parameter vector against the space bounds.
+
+    Raises:
+        ConfigError: naming the first out-of-bounds or unknown
+            parameter, or an over-full lifetime mix.
+    """
+    for name, value in values.items():
+        spec = SPECS_BY_NAME.get(name)
+        if spec is None:
+            raise ConfigError(
+                f"unknown scenario parameter {name!r}; choose from "
+                f"{sorted(SPECS_BY_NAME)}"
+            )
+        spec.validate(value)
+    short = values.get("lifetime_short", 0.0)
+    long_ = values.get("lifetime_long", 0.0)
+    if short + long_ > MAX_EXTREME_LIFETIME_MASS + 1e-9:
+        raise ConfigError(
+            f"lifetime_short + lifetime_long = {short + long_:.3f} exceeds "
+            f"{MAX_EXTREME_LIFETIME_MASS} (medium share would vanish)"
+        )
+
+
+def clamp_values(values: dict[str, float]) -> dict[str, float]:
+    """Project a vector into bounds (mutators use this so a structured
+    perturbation can never produce an invalid candidate)."""
+    clamped = {
+        name: SPECS_BY_NAME[name].clamp(value) for name, value in values.items()
+    }
+    short = clamped.get("lifetime_short", 0.0)
+    long_ = clamped.get("lifetime_long", 0.0)
+    total = short + long_
+    if total > MAX_EXTREME_LIFETIME_MASS:
+        # Slightly under the ceiling so float rounding in the rescaled
+        # values can never trip the strict validation bound.
+        rescale = (MAX_EXTREME_LIFETIME_MASS - 1e-9) / total
+        if "lifetime_short" in clamped:
+            clamped["lifetime_short"] = short * rescale
+        if "lifetime_long" in clamped:
+            clamped["lifetime_long"] = long_ * rescale
+    return clamped
+
+
+def build_profile(
+    base: WorkloadProfile,
+    values: dict[str, float],
+    name: str | None = None,
+) -> WorkloadProfile:
+    """Decode a parameter vector into a concrete profile.
+
+    Unsearched fields (suite, description, default_scale) carry over
+    from *base*.  The result is fully validated — out-of-space vectors
+    and impossible profiles raise structured :class:`ConfigError`
+    subtypes here, before any synthesis work starts.
+    """
+    validate_values(values)
+    short = values["lifetime_short"]
+    long_ = values["lifetime_long"]
+    mix = LifetimeMix(
+        short=short, medium=1.0 - short - long_, long=long_
+    )
+    fields = {
+        spec.name: (
+            int(values[spec.name]) if spec.integer else values[spec.name]
+        )
+        for spec in SEARCH_PARAMETERS
+        if spec.name not in ("lifetime_short", "lifetime_long")
+    }
+    return replace(
+        base,
+        name=name if name is not None else base.name,
+        lifetime_mix=mix,
+        **fields,
+    )
+
+
+# ----------------------------------------------------------------------
+# Structured mutators
+# ----------------------------------------------------------------------
+
+
+def _mutate_drift(values: dict[str, float], rng: Random) -> dict[str, float]:
+    """Unstructured exploration: jitter a few random dimensions."""
+    mutated = dict(values)
+    chosen = rng.sample(sorted(SPECS_BY_NAME), k=rng.randint(2, 4))
+    for name in chosen:
+        spec = SPECS_BY_NAME[name]
+        mutated[name] = spec.jitter(mutated[name], rng, spread=2.0)
+    return clamp_values(mutated)
+
+
+def _mutate_phase_storm(values: dict[str, float], rng: Random) -> dict[str, float]:
+    """Rapid phase changes: many short phases of throwaway handler
+    code, the workload shape that punishes promotion eagerness."""
+    mutated = dict(values)
+    mutated["n_phases"] = values["n_phases"] * rng.randint(4, 12)
+    mutated["duration_seconds"] = values["duration_seconds"] / rng.uniform(1.5, 3.0)
+    mutated["reaccess_short"] = values["reaccess_short"] * rng.uniform(1.5, 3.0)
+    mutated["lifetime_short"] = max(values["lifetime_short"], rng.uniform(0.6, 0.85))
+    mutated["lifetime_long"] = min(values["lifetime_long"], rng.uniform(0.05, 0.15))
+    return clamp_values(mutated)
+
+
+def _mutate_unmap_storm(values: dict[str, float], rng: Random) -> dict[str, float]:
+    """DLL churn: a large fraction of trace bytes dies to module
+    unmaps, stressing program-forced eviction paths."""
+    mutated = dict(values)
+    mutated["unmap_fraction"] = rng.uniform(0.3, 0.6)
+    mutated["n_phases"] = values["n_phases"] * rng.randint(2, 6)
+    mutated["lifetime_short"] = max(values["lifetime_short"], rng.uniform(0.55, 0.8))
+    mutated["pin_fraction"] = min(values["pin_fraction"], 0.01)
+    return clamp_values(mutated)
+
+
+def _mutate_churn(values: dict[str, float], rng: Random) -> dict[str, float]:
+    """Pure churn: almost no long-lived code, so persistent-cache
+    capacity is dead weight and promotion traffic is pure overhead."""
+    mutated = dict(values)
+    mutated["lifetime_short"] = rng.uniform(0.78, 0.92)
+    mutated["lifetime_long"] = rng.uniform(0.02, 0.06)
+    mutated["hot_records"] = max(8.0, values["hot_records"] / rng.uniform(4.0, 10.0))
+    mutated["reaccess_long"] = max(2.0, values["reaccess_long"] / rng.uniform(2.0, 6.0))
+    mutated["total_trace_kb"] = values["total_trace_kb"] * rng.uniform(1.2, 2.5)
+    return clamp_values(mutated)
+
+
+#: The fuzzer's structured mutators, by stable name (sorted order is
+#: the deterministic draw order).
+MUTATORS = {
+    "drift": _mutate_drift,
+    "phase-storm": _mutate_phase_storm,
+    "unmap-storm": _mutate_unmap_storm,
+    "churn": _mutate_churn,
+}

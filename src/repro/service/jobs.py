@@ -20,6 +20,12 @@ Four job kinds cover the service's consumers:
 * ``shared-mix`` — one (mix, process count, sharing policy) cell of
   the cross-process shared-cache table, the unit ``run shared
   --jobs N`` fans out.
+* ``scenario`` — replay one registered adversarial scenario (a row of
+  the scenario regression table, the unit ``run scenarios --jobs N``
+  fans out).
+* ``calibrate`` — one inverse-synthesis run fitting a profile to a
+  scenario target (the CLI's ``calibrate`` verb, submittable to a
+  server).
 """
 
 from __future__ import annotations
@@ -38,10 +44,19 @@ from repro.sim.interleave import DEFAULT_QUANTUM, SCHEDULES
 #: the content address, so old store blobs are never misread.
 #: v2: shared-mix jobs, provenance keys (seed/config_digest) in every
 #: payload.
-JOB_FORMAT = 2
+#: v3: scenario and calibrate jobs (scenario/target/budget/tolerance
+#: fields).
+JOB_FORMAT = 3
 
 #: The supported job kinds.
-JOB_KINDS = ("experiment", "sweep-point", "replay", "shared-mix")
+JOB_KINDS = (
+    "experiment",
+    "sweep-point",
+    "replay",
+    "shared-mix",
+    "scenario",
+    "calibrate",
+)
 
 
 @dataclass(frozen=True)
@@ -74,6 +89,10 @@ class JobSpec:
         policy: Sharing policy variant (``shared-mix``).
         schedule: Interleaving schedule (``shared-mix``).
         quantum: Records per scheduling turn (``shared-mix``).
+        scenario: Registered scenario name (``scenario`` jobs).
+        target: Scenario-target dict to fit (``calibrate`` jobs).
+        budget: Candidate-evaluation budget (``calibrate`` jobs).
+        tolerance: Convergence tolerance (``calibrate`` jobs).
     """
 
     kind: str = "experiment"
@@ -99,6 +118,10 @@ class JobSpec:
     policy: str | None = None
     schedule: str = "round-robin"
     quantum: int = DEFAULT_QUANTUM
+    scenario: str | None = None
+    target: dict | None = None
+    budget: int | None = None
+    tolerance: float | None = None
 
     def validate(self) -> None:
         """Check cross-field consistency.
@@ -148,6 +171,31 @@ class JobSpec:
             if self.quantum < 1:
                 raise ConfigError(
                     f"shared-mix quantum must be >= 1, got {self.quantum}"
+                )
+        elif self.kind == "scenario":
+            if not self.scenario:
+                raise ConfigError("scenario jobs need a scenario name")
+        elif self.kind == "calibrate":
+            if not self.benchmark:
+                raise ConfigError(
+                    "calibrate jobs need a benchmark (the base profile)"
+                )
+            if self.target is None:
+                raise ConfigError("calibrate jobs need a target dict")
+            # Surface malformed targets at submission time, not on a
+            # worker.  Imported lazily: repro.scenarios replays through
+            # the experiment layer, so a module-level import would
+            # cycle.
+            from repro.scenarios.targets import ScenarioTarget
+
+            ScenarioTarget.from_dict(self.target)
+            if self.budget is not None and self.budget < 1:
+                raise ConfigError(
+                    f"calibration budget must be >= 1, got {self.budget}"
+                )
+            if self.tolerance is not None and self.tolerance <= 0:
+                raise ConfigError(
+                    f"calibration tolerance must be > 0, got {self.tolerance}"
                 )
         else:  # replay
             given = [p for p in (self.log_path, self.log_inline) if p]

@@ -162,11 +162,50 @@ def _run_shared_mix(spec: JobSpec) -> dict:
     return {"kind": spec.kind, "result": cell}
 
 
+def _run_scenario(spec: JobSpec) -> dict:
+    # Imported lazily: the scenarios experiment fans back out through
+    # the scheduler for --jobs runs, so a module-level import would
+    # cycle.
+    from repro.experiments.scenarios import replay_scenario
+
+    return {"kind": spec.kind, "result": replay_scenario(spec.scenario)}
+
+
+def _run_calibrate(spec: JobSpec) -> dict:
+    from repro.scenarios.artifact import from_calibration
+    from repro.scenarios.calibrate import DEFAULT_BUDGET, calibrate
+    from repro.scenarios.targets import ScenarioTarget
+    from repro.workloads.catalog import get_profile
+
+    target = ScenarioTarget.from_dict(spec.target)
+    result = calibrate(
+        target,
+        get_profile(spec.benchmark),
+        seed=spec.seed,
+        scale=spec.scale_multiplier,
+        budget=spec.budget if spec.budget is not None else DEFAULT_BUDGET,
+        tolerance=spec.tolerance if spec.tolerance is not None else 0.05,
+    )
+    artifact = from_calibration(result, target.name)
+    return {
+        "kind": spec.kind,
+        "result": {
+            "artifact": artifact.to_dict(),
+            "objective": result.best_objective,
+            "components": dict(sorted(result.components.items())),
+            "converged": result.converged,
+            "evaluations": result.evaluations,
+        },
+    }
+
+
 _EXECUTORS = {
     "experiment": _run_experiment,
     "sweep-point": _run_sweep_point,
     "replay": _run_replay,
     "shared-mix": _run_shared_mix,
+    "scenario": _run_scenario,
+    "calibrate": _run_calibrate,
 }
 
 

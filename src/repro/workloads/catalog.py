@@ -1,4 +1,12 @@
-"""Unified lookup over both benchmark suites."""
+"""Unified lookup over both benchmark suites and registered scenarios.
+
+Besides the two static suites (SPEC2000 and interactive), the catalog
+holds a third, *dynamic* population: scenario profiles.  These are
+workloads institutionalized by the adversarial search in
+:mod:`repro.scenarios` — surviving counterexamples whose artifacts are
+registered here so every consumer (experiments, CLI, service jobs) can
+look them up by name exactly like a paper benchmark.
+"""
 
 from __future__ import annotations
 
@@ -7,25 +15,88 @@ from repro.workloads.interactive import INTERACTIVE_PROFILES
 from repro.workloads.profiles import WorkloadProfile
 from repro.workloads.spec2000 import SPEC2000_PROFILES
 
+#: Dynamically registered profiles (suite ``"scenario"``), by name.
+_EXTRA_PROFILES: dict[str, WorkloadProfile] = {}
 
-def all_profiles() -> tuple[WorkloadProfile, ...]:
-    """Every benchmark in paper order: SPEC2000 then interactive."""
-    return SPEC2000_PROFILES + INTERACTIVE_PROFILES
+
+def _ensure_scenarios() -> None:
+    """Load the built-in scenario registry exactly once.
+
+    Imported lazily: :mod:`repro.scenarios.registry` registers its
+    profiles *through* this module, so a top-level import would cycle.
+    """
+    from repro.scenarios import registry
+
+    registry.ensure_builtin()
+
+
+def register_profile(profile: WorkloadProfile, replace: bool = False) -> None:
+    """Add *profile* to the dynamic catalog population.
+
+    Raises:
+        WorkloadError: when the name collides with a static benchmark,
+            or with an already-registered profile (unless *replace*).
+    """
+    static_names = {p.name for p in SPEC2000_PROFILES + INTERACTIVE_PROFILES}
+    if profile.name in static_names:
+        raise WorkloadError(
+            f"profile name {profile.name!r} collides with a static benchmark"
+        )
+    if profile.name in _EXTRA_PROFILES and not replace:
+        existing = _EXTRA_PROFILES[profile.name]
+        if existing != profile:
+            raise WorkloadError(
+                f"profile {profile.name!r} already registered with "
+                "different contents; pass replace=True to overwrite"
+            )
+        return
+    _EXTRA_PROFILES[profile.name] = profile
+
+
+def registered_profiles() -> tuple[WorkloadProfile, ...]:
+    """Every dynamically registered profile, sorted by name (the
+    built-in scenario counterexamples load on first use)."""
+    _ensure_scenarios()
+    return tuple(
+        _EXTRA_PROFILES[name] for name in sorted(_EXTRA_PROFILES)
+    )
+
+
+def all_profiles(include_scenarios: bool = False) -> tuple[WorkloadProfile, ...]:
+    """Every benchmark in paper order: SPEC2000 then interactive.
+
+    With *include_scenarios* the registered scenario profiles follow,
+    sorted by name.
+    """
+    static = SPEC2000_PROFILES + INTERACTIVE_PROFILES
+    if include_scenarios:
+        return static + registered_profiles()
+    return static
 
 
 def profiles_for_suite(suite: str) -> tuple[WorkloadProfile, ...]:
-    """All profiles of one suite (``"spec"`` or ``"interactive"``)."""
+    """All profiles of one suite (``"spec"``, ``"interactive"`` or
+    ``"scenario"``)."""
     if suite == "spec":
         return SPEC2000_PROFILES
     if suite == "interactive":
         return INTERACTIVE_PROFILES
-    raise WorkloadError(f"unknown suite {suite!r}; use 'spec' or 'interactive'")
+    if suite == "scenario":
+        return registered_profiles()
+    raise WorkloadError(
+        f"unknown suite {suite!r}; use 'spec', 'interactive' or 'scenario'"
+    )
 
 
 def get_profile(name: str) -> WorkloadProfile:
-    """Look up any benchmark by name across both suites."""
+    """Look up any benchmark by name across suites and scenarios."""
     for profile in all_profiles():
         if profile.name == name:
             return profile
-    names = sorted(p.name for p in all_profiles())
+    _ensure_scenarios()
+    if name in _EXTRA_PROFILES:
+        return _EXTRA_PROFILES[name]
+    names = sorted(
+        [p.name for p in all_profiles()] + list(_EXTRA_PROFILES)
+    )
     raise WorkloadError(f"unknown benchmark {name!r}; choose from {names}")

@@ -99,8 +99,10 @@ class WorkloadProfile:
     default_scale: float = 1.0
 
     def __post_init__(self) -> None:
-        if self.suite not in ("spec", "interactive"):
+        if self.suite not in ("spec", "interactive", "scenario"):
             raise WorkloadError(f"unknown suite {self.suite!r}")
+        if not self.name:
+            raise WorkloadError("profile name must be non-empty")
         if self.total_trace_kb <= 0:
             raise WorkloadError("total_trace_kb must be positive")
         if self.duration_seconds <= 0:
@@ -113,6 +115,35 @@ class WorkloadProfile:
             raise WorkloadError("n_phases must be >= 1")
         if self.median_trace_bytes < 16:
             raise WorkloadError("median_trace_bytes unrealistically small")
+        # Behavioural-rate bounds.  Calibration and fuzzing construct
+        # profiles from searched parameter vectors; a candidate outside
+        # these ranges must be rejected here, at construction, with a
+        # structured ConfigError (WorkloadError subclasses it) rather
+        # than failing deep inside synthesis with a division or range
+        # error.
+        for rate_name, value in (
+            ("reaccess_short", self.reaccess_short),
+            ("reaccess_long", self.reaccess_long),
+        ):
+            if value <= 0:
+                raise WorkloadError(f"{rate_name} must be positive, got {value}")
+        if self.burst_repeat < 1.0:
+            raise WorkloadError(
+                f"burst_repeat must be >= 1 (one entry per record), got "
+                f"{self.burst_repeat}"
+            )
+        if self.hot_records < 0:
+            raise WorkloadError(
+                f"hot_records must be non-negative, got {self.hot_records}"
+            )
+        if not 0.0 <= self.pin_fraction < 1.0:
+            raise WorkloadError(
+                f"pin_fraction must be in [0, 1), got {self.pin_fraction}"
+            )
+        if self.default_scale <= 0:
+            raise WorkloadError(
+                f"default_scale must be positive, got {self.default_scale}"
+            )
 
     @property
     def total_trace_bytes(self) -> int:

@@ -347,3 +347,49 @@ class TestSharedCacheApi:
             "  # cachelint: disable=shared-cache-api\n"
         )
         assert hits(src, "shared-cache-api") == []
+
+
+class TestScenariosDeterminism:
+    SCENARIO_PATH = "src/repro/scenarios/fixture.py"
+
+    def test_wall_clock_call_flagged(self):
+        src = "import profiling\nstart = profiling.perf_counter()\n"
+        assert hits(src, "scenarios-determinism", path=self.SCENARIO_PATH) == [
+            "scenarios-determinism"
+        ]
+
+    def test_datetime_now_flagged(self):
+        assert hits(
+            "stamp = datetime.now()\n",
+            "scenarios-determinism",
+            path=self.SCENARIO_PATH,
+        ) == ["scenarios-determinism"]
+
+    def test_random_construction_flagged(self):
+        src = "from repro.rand import Random\nrng = Random(42)\n"
+        assert hits(src, "scenarios-determinism", path=self.SCENARIO_PATH) == [
+            "scenarios-determinism"
+        ]
+
+    def test_reseeding_flagged(self):
+        assert hits(
+            "rng.seed(7)\n", "scenarios-determinism", path=self.SCENARIO_PATH
+        ) == ["scenarios-determinism"]
+
+    def test_substream_is_fine(self):
+        src = "from repro.rand import substream\nrng = substream(42, 'x')\n"
+        assert hits(src, "scenarios-determinism", path=self.SCENARIO_PATH) == []
+
+    def test_rng_methods_are_fine(self):
+        src = "x = rng.random() + rng.uniform(0, 1)\n"
+        assert hits(src, "scenarios-determinism", path=self.SCENARIO_PATH) == []
+
+    def test_only_scenarios_package_checked(self):
+        assert hits("stamp = datetime.now()\n", "scenarios-determinism") == []
+
+    def test_suppressed(self):
+        src = (
+            "stamp = time.monotonic()  "
+            "# cachelint: disable=scenarios-determinism\n"
+        )
+        assert hits(src, "scenarios-determinism", path=self.SCENARIO_PATH) == []

@@ -145,3 +145,104 @@ class TestParallelDispatch:
         assert main(argv) == 0
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestScenarioVerbs:
+    """The calibrate/fuzz verbs and the scenarios regression table."""
+
+    @staticmethod
+    def _emit_target(tmp_path):
+        path = tmp_path / "target.json"
+        assert (
+            main(
+                [
+                    "calibrate", "word", "--emit-target", str(path),
+                    "--scale", "512", "--seed", "7",
+                ]
+            )
+            == 0
+        )
+        return path
+
+    def test_emit_target_writes_json(self, tmp_path, capsys):
+        path = self._emit_target(tmp_path)
+        capsys.readouterr()
+        import json
+
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["name"] == "word"
+        assert len(payload["statistics"]["miss_curve"]) == 4
+
+    def test_calibrate_artifacts_are_seed_deterministic(self, tmp_path, capsys):
+        target = self._emit_target(tmp_path)
+        argv = [
+            "calibrate", "word", "--target", str(target),
+            "--scale", "512", "--seed", "7", "--budget", "2",
+            "--parameters", "total_trace_kb",
+        ]
+        out_a = tmp_path / "a"
+        out_b = tmp_path / "b"
+        assert main(argv + ["--out", str(out_a)]) == 0
+        assert main(argv + ["--out", str(out_b)]) == 0
+        capsys.readouterr()
+        files_a = sorted(p.name for p in out_a.glob("s*.json"))
+        files_b = sorted(p.name for p in out_b.glob("s*.json"))
+        assert files_a == files_b and len(files_a) == 1
+        assert (out_a / files_a[0]).read_bytes() == (out_b / files_b[0]).read_bytes()
+
+    def test_calibrate_needs_exactly_one_target_source(self, tmp_path, capsys):
+        target = self._emit_target(tmp_path)
+        capsys.readouterr()
+        assert main(["calibrate", "word", "--scale", "512"]) == 2
+        assert (
+            main(
+                [
+                    "calibrate", "word", "--target", str(target),
+                    "--from-profile", "gcc", "--scale", "512",
+                ]
+            )
+            == 2
+        )
+
+    def test_calibrate_unknown_benchmark_exits_two(self, capsys):
+        assert main(["calibrate", "nope", "--from-profile", "word"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_calibrate_bad_scale_exits_two(self, capsys):
+        assert main(["calibrate", "word", "--from-profile", "word", "--scale", "-1"]) == 2
+
+    def test_fuzz_same_contenders_exits_two(self, capsys):
+        assert main(["fuzz", "--victim", "unified", "--reference", "unified"]) == 2
+        assert "must differ" in capsys.readouterr().err
+
+    def test_fuzz_unknown_contender_exits_two(self, capsys):
+        assert main(["fuzz", "--victim", "bogus"]) == 2
+
+    def test_fuzz_no_survivors_still_succeeds(self, capsys):
+        argv = [
+            "fuzz", "--rounds", "1", "--scale", "512", "--base", "word",
+            "--min-regret", "0.9", "--seed", "13",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 counterexample(s)" in out
+        assert "no candidate cleared" in out
+
+    def test_fuzz_writes_survivor_artifacts(self, tmp_path, capsys):
+        argv = [
+            "fuzz", "--victim", "flush-all", "--reference", "unified",
+            "--rounds", "2", "--scale", "512", "--base", "word",
+            "--min-regret", "0.000001", "--seed", "13",
+            "--out", str(tmp_path / "cx"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cx-flush-all-vs-unified-" in out
+        saved = list((tmp_path / "cx").glob("s*.json"))
+        assert saved
+
+    def test_run_scenarios_quick(self, capsys):
+        assert main(["run", "scenarios", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "SCENARIO-REGRESSION" in out
+        assert "ok" in out

@@ -1,0 +1,31 @@
+"""Registry isolation for the scenario tests.
+
+The scenario registry and the workload catalog both hold process-wide
+dynamic state (registered artifacts / profiles).  Every test in this
+package runs against a snapshot-restored copy so registrations made by
+one test can never leak into another — or into the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import registry
+from repro.workloads import catalog
+
+
+@pytest.fixture(autouse=True)
+def clean_registry(monkeypatch):
+    """Snapshot and restore both dynamic populations around each test."""
+    monkeypatch.delenv(registry.ENV_DIR, raising=False)
+    saved_registry = dict(registry._registry)
+    saved_loaded = registry._builtin_loaded
+    saved_extra = dict(catalog._EXTRA_PROFILES)
+    registry.reset()
+    catalog._EXTRA_PROFILES.clear()
+    yield
+    registry._registry.clear()
+    registry._registry.update(saved_registry)
+    registry._builtin_loaded = saved_loaded
+    catalog._EXTRA_PROFILES.clear()
+    catalog._EXTRA_PROFILES.update(saved_extra)

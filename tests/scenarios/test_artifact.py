@@ -1,0 +1,182 @@
+"""Content-addressed scenario artifacts: identity, bytes, round trips."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.scenarios.artifact import (
+    ARTIFACT_FORMAT,
+    ScenarioArtifact,
+    counterexample_name,
+    profile_from_dict,
+    profile_to_dict,
+    scenario_id,
+)
+from repro.scenarios.registry import BUILTIN_COUNTEREXAMPLES
+from repro.workloads.catalog import get_profile
+
+
+def make_artifact(name="cx-test", **overrides):
+    fields = dict(
+        kind="counterexample",
+        name=name,
+        profile=replace(get_profile("word"), name=name, suite="scenario"),
+        seed=42,
+        scale=128.0,
+        victim="generational",
+        reference="unified",
+        capacity_fraction=0.25,
+        expected_regret=0.02,
+    )
+    fields.update(overrides)
+    return ScenarioArtifact(**fields)
+
+
+class TestProfilePayload:
+    def test_round_trip(self):
+        word = get_profile("word")
+        assert profile_from_dict(profile_to_dict(word)) == word
+
+    def test_rejects_non_mapping(self):
+        with pytest.raises(ConfigError, match="mapping"):
+            profile_from_dict([])
+
+    def test_rejects_missing_mix(self):
+        payload = profile_to_dict(get_profile("word"))
+        del payload["lifetime_mix"]
+        with pytest.raises(ConfigError, match="lifetime_mix"):
+            profile_from_dict(payload)
+
+    def test_rejects_unknown_field(self):
+        payload = profile_to_dict(get_profile("word"))
+        payload["bogus"] = 1
+        with pytest.raises(ConfigError, match="malformed profile"):
+            profile_from_dict(payload)
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError, match="artifact kind"):
+            make_artifact(kind="mystery")
+
+    def test_counterexample_needs_outcome_fields(self):
+        with pytest.raises(ConfigError, match="missing fields"):
+            make_artifact(expected_regret=None)
+
+    def test_victim_must_differ(self):
+        with pytest.raises(ConfigError, match="must differ"):
+            make_artifact(victim="unified", reference="unified")
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ConfigError, match="capacity_fraction"):
+            make_artifact(capacity_fraction=1.5)
+
+    def test_scale_positive(self):
+        with pytest.raises(ConfigError, match="scale"):
+            make_artifact(scale=0.0)
+
+
+class TestIdentity:
+    def test_id_shape(self):
+        sid = make_artifact().scenario_id
+        assert sid.startswith("s")
+        assert len(sid) == 32
+
+    def test_id_ignores_names_and_outcomes(self):
+        # Names derive from the digest and outcomes are measured after
+        # naming, so neither may feed the digest.
+        a = make_artifact()
+        b = make_artifact(
+            name="cx-other",
+            profile=replace(a.profile, name="cx-other"),
+            expected_regret=0.9,
+            provenance={"mutators": ["churn"]},
+        )
+        assert a.scenario_id == b.scenario_id
+
+    def test_id_tracks_content(self):
+        a = make_artifact()
+        b = make_artifact(capacity_fraction=0.5)
+        c = make_artifact(seed=43)
+        assert len({a.scenario_id, b.scenario_id, c.scenario_id}) == 3
+
+    def test_counterexample_name_embeds_digest(self):
+        sid = make_artifact().scenario_id
+        name = counterexample_name("generational", "unified", sid)
+        assert name == f"cx-generational-vs-unified-{sid[1:9]}"
+
+
+class TestSerialization:
+    def test_to_json_is_byte_stable(self):
+        assert make_artifact().to_json() == make_artifact().to_json()
+        assert make_artifact().to_json().endswith("\n")
+
+    def test_dict_round_trip(self):
+        original = make_artifact(provenance={"mutators": ["churn"]})
+        rebuilt = ScenarioArtifact.from_dict(original.to_dict())
+        assert rebuilt == original
+        assert rebuilt.scenario_id == original.scenario_id
+
+    def test_from_dict_rejects_id_mismatch(self):
+        payload = make_artifact().to_dict()
+        payload["id"] = "s" + "0" * 31
+        with pytest.raises(ConfigError, match="id mismatch"):
+            ScenarioArtifact.from_dict(payload)
+
+    def test_from_dict_rejects_future_format(self):
+        payload = make_artifact().to_dict()
+        payload["format"] = ARTIFACT_FORMAT + 1
+        with pytest.raises(ConfigError, match="format"):
+            ScenarioArtifact.from_dict(payload)
+
+    def test_from_dict_missing_fields(self):
+        with pytest.raises(ConfigError, match="missing fields"):
+            ScenarioArtifact.from_dict({"kind": "counterexample"})
+
+    def test_save_load_round_trip(self, tmp_path):
+        original = make_artifact()
+        path = original.save(tmp_path)
+        assert path.name == f"{original.scenario_id}.json"
+        assert ScenarioArtifact.load(path) == original
+
+    def test_save_is_byte_stable(self, tmp_path):
+        original = make_artifact()
+        first = original.save(tmp_path).read_bytes()
+        second = original.save(tmp_path).read_bytes()
+        assert first == second
+
+    def test_load_rejects_corrupt_json(self, tmp_path):
+        path = tmp_path / "s0.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ConfigError, match="not JSON"):
+            ScenarioArtifact.load(path)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read"):
+            ScenarioArtifact.load(tmp_path / "absent.json")
+
+
+class TestBuiltinPayloads:
+    def test_builtin_ids_verify(self):
+        # from_dict recomputes the digest and compares it against the
+        # declared id, so this also proves the checked-in payloads were
+        # not hand-edited.
+        for payload in BUILTIN_COUNTEREXAMPLES:
+            artifact = ScenarioArtifact.from_dict(payload)
+            assert artifact.scenario_id == payload["id"]
+            assert artifact.name == payload["name"]
+            assert artifact.profile.suite == "scenario"
+
+    def test_builtin_payloads_survive_reserialization(self):
+        for payload in BUILTIN_COUNTEREXAMPLES:
+            artifact = ScenarioArtifact.from_dict(payload)
+            rebuilt = ScenarioArtifact.from_dict(json.loads(artifact.to_json()))
+            assert rebuilt == artifact
+            # The checked-in payload is a subset of the canonical dict
+            # (it omits keys that are None for counterexamples).
+            canonical = artifact.to_dict()
+            assert all(canonical[key] == value for key, value in payload.items())

@@ -1,0 +1,113 @@
+"""Inverse synthesis: determinism, convergence, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.scenarios.calibrate import calibrate
+from repro.scenarios.space import clamp_values, parameter_vector
+from repro.scenarios.targets import (
+    ROUND_TRIP_TOLERANCE,
+    target_from_profile,
+)
+from repro.workloads.catalog import get_profile
+
+SCALE = 512.0
+
+
+def word_target():
+    return target_from_profile(get_profile("word"), 7, SCALE)
+
+
+class TestValidation:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ConfigError, match="budget"):
+            calibrate(word_target(), get_profile("word"), budget=0)
+
+    def test_tolerance_must_be_positive(self):
+        with pytest.raises(ConfigError, match="tolerance"):
+            calibrate(word_target(), get_profile("word"), tolerance=0.0)
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ConfigError, match="scale"):
+            calibrate(word_target(), get_profile("word"), scale=-1.0)
+
+    def test_unknown_parameter_restriction(self):
+        with pytest.raises(ConfigError, match="unknown search parameters"):
+            calibrate(
+                word_target(), get_profile("word"), parameters=("bogus",)
+            )
+
+    def test_empty_parameter_restriction(self):
+        with pytest.raises(ConfigError, match="selects nothing"):
+            calibrate(word_target(), get_profile("word"), parameters=())
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self):
+        target = word_target()
+        base = get_profile("excel")
+        kwargs = dict(
+            seed=11,
+            scale=SCALE,
+            budget=8,
+            parameters=("total_trace_kb", "unmap_fraction"),
+        )
+        a = calibrate(target, base, **kwargs)
+        b = calibrate(target, base, **kwargs)
+        assert a.best_values == b.best_values
+        assert a.best_objective == b.best_objective
+        assert a.history == b.history
+        assert a.evaluations == b.evaluations
+
+    def test_budget_bounds_evaluations(self):
+        result = calibrate(
+            word_target(),
+            get_profile("excel"),
+            seed=11,
+            scale=SCALE,
+            budget=5,
+            parameters=("total_trace_kb",),
+        )
+        assert result.evaluations <= 5
+
+
+class TestRoundTrip:
+    def test_recovers_hidden_profile_within_tolerance(self):
+        # Hide a perturbed word profile, fingerprint it, and check the
+        # search walks the base back within the documented tolerance.
+        base = get_profile("word")
+        hidden_values = clamp_values(parameter_vector(base))
+        hidden_values["total_trace_kb"] *= 2.0
+        hidden_values["unmap_fraction"] = 0.25
+        hidden_values = clamp_values(hidden_values)
+        from repro.scenarios.space import build_profile
+
+        hidden = build_profile(base, hidden_values, name="hidden")
+        target = target_from_profile(hidden, 7, SCALE, name="hidden")
+
+        result = calibrate(
+            target,
+            base,
+            seed=7,
+            scale=SCALE,
+            budget=32,
+            tolerance=0.01,
+            parameters=("total_trace_kb", "unmap_fraction"),
+        )
+        assert result.components["miss_curve"] <= ROUND_TRIP_TOLERANCE
+        assert result.best_objective < 0.25
+        assert result.best_profile.name == "fit-hidden"
+
+    def test_self_target_converges_immediately(self):
+        # The base already matches its own fingerprint: objective 0 at
+        # the first evaluation, one history entry, converged.
+        base = get_profile("word")
+        result = calibrate(
+            word_target(), base, seed=7, scale=SCALE, budget=4
+        )
+        assert result.converged
+        assert result.best_objective == 0.0
+        assert result.evaluations == 1
+        assert result.history == ((1, 0.0),)

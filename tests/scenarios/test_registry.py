@@ -1,0 +1,96 @@
+"""Registry institutionalization: catalog wiring, persistence, isolation."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigError, ScenarioError, WorkloadError
+from repro.scenarios import registry
+from repro.scenarios.artifact import ScenarioArtifact
+from repro.workloads.catalog import all_profiles, get_profile
+
+from tests.scenarios.test_artifact import make_artifact
+
+
+class TestBuiltins:
+    def test_builtins_register_on_first_use(self):
+        names = [artifact.name for artifact in registry.registered()]
+        assert len(names) >= 2
+        assert names == sorted(names)
+        assert all(name.startswith("cx-") for name in names)
+
+    def test_get_scenario_unknown_raises(self):
+        with pytest.raises(ScenarioError, match="unknown scenario"):
+            registry.get_scenario("cx-nonexistent")
+
+    def test_static_benchmark_count_untouched(self):
+        # The paper's 38-benchmark population must not absorb scenario
+        # profiles by default.
+        registry.ensure_builtin()
+        assert len(all_profiles()) == 38
+        with_scenarios = all_profiles(include_scenarios=True)
+        assert len(with_scenarios) > 38
+
+    def test_scenario_profiles_resolve_by_name(self):
+        for artifact in registry.registered():
+            profile = get_profile(artifact.name)
+            assert profile == artifact.profile
+            assert profile.suite == "scenario"
+
+
+class TestRegister:
+    def test_register_is_idempotent_for_same_content(self):
+        artifact = make_artifact()
+        registry.register(artifact)
+        registry.register(artifact)  # no error
+        assert registry.get_scenario("cx-test") == artifact
+
+    def test_register_rejects_name_reuse_with_new_content(self):
+        registry.register(make_artifact())
+        conflicting = make_artifact(capacity_fraction=0.5)
+        with pytest.raises(ConfigError, match="different content"):
+            registry.register(conflicting)
+
+    def test_register_replace_overwrites(self):
+        registry.register(make_artifact())
+        conflicting = make_artifact(capacity_fraction=0.5)
+        registry.register(conflicting, replace=True)
+        assert registry.get_scenario("cx-test") == conflicting
+
+    def test_register_rejects_static_name_collision(self):
+        word = get_profile("word")
+        artifact = make_artifact(
+            name="word", profile=replace(word, suite="scenario")
+        )
+        with pytest.raises(WorkloadError, match="collides"):
+            registry.register(artifact)
+
+
+class TestDirectoryLoading:
+    def test_load_directory(self, tmp_path):
+        artifact = make_artifact()
+        artifact.save(tmp_path)
+        loaded = registry.load_directory(tmp_path)
+        assert loaded == (artifact,)
+        assert registry.get_scenario("cx-test") == artifact
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(ConfigError, match="does not exist"):
+            registry.load_directory(tmp_path / "absent")
+
+    def test_env_directory_loads_with_builtins(self, tmp_path, monkeypatch):
+        make_artifact().save(tmp_path)
+        monkeypatch.setenv(registry.ENV_DIR, str(tmp_path))
+        registry.reset()
+        names = [artifact.name for artifact in registry.registered()]
+        assert "cx-test" in names
+        assert len(names) >= 3  # builtins still present
+
+    def test_reset_reloads_builtins_lazily(self):
+        registry.register(make_artifact())
+        registry.reset()
+        names = [artifact.name for artifact in registry.registered()]
+        assert "cx-test" not in names
+        assert len(names) >= 2

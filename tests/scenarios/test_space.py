@@ -1,0 +1,138 @@
+"""Parameter-space tests: bounds, encode/decode, mutators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.rand import substream
+from repro.scenarios.space import (
+    MAX_EXTREME_LIFETIME_MASS,
+    MUTATORS,
+    SEARCH_PARAMETERS,
+    SPECS_BY_NAME,
+    build_profile,
+    clamp_values,
+    parameter_vector,
+    validate_values,
+)
+from repro.workloads.catalog import get_profile
+
+
+class TestParameterSpec:
+    def test_clamp_clips_into_bounds(self):
+        spec = SPECS_BY_NAME["code_expansion"]
+        assert spec.clamp(0.0) == spec.low
+        assert spec.clamp(100.0) == spec.high
+        assert spec.clamp(3.0) == 3.0
+
+    def test_integer_specs_round(self):
+        spec = SPECS_BY_NAME["hot_records"]
+        assert spec.clamp(99.6) == 100.0
+        assert spec.clamp(99.6) == int(spec.clamp(99.6))
+
+    def test_validate_raises_out_of_bounds(self):
+        spec = SPECS_BY_NAME["unmap_fraction"]
+        with pytest.raises(ConfigError, match="unmap_fraction"):
+            spec.validate(0.7)
+
+    def test_stepped_stays_in_bounds(self):
+        for spec in SEARCH_PARAMETERS:
+            for direction in (1, -1):
+                value = spec.stepped(spec.high, direction)
+                assert spec.low <= value <= spec.high
+
+    def test_stepped_moves_from_interior(self):
+        spec = SPECS_BY_NAME["total_trace_kb"]
+        mid = 1000.0
+        assert spec.stepped(mid, 1) > mid
+        assert spec.stepped(mid, -1) < mid
+
+    def test_jitter_deterministic_and_bounded(self):
+        spec = SPECS_BY_NAME["reaccess_long"]
+        a = spec.jitter(50.0, substream(3, "t"))
+        b = spec.jitter(50.0, substream(3, "t"))
+        assert a == b
+        assert spec.low <= a <= spec.high
+
+
+class TestVectorRoundTrip:
+    def test_encode_covers_every_dimension(self):
+        values = parameter_vector(get_profile("word"))
+        assert set(values) == set(SPECS_BY_NAME)
+
+    def test_build_then_encode_is_identity(self):
+        base = get_profile("word")
+        values = clamp_values(parameter_vector(base))
+        rebuilt = parameter_vector(build_profile(base, values))
+        for name, value in values.items():
+            spec = SPECS_BY_NAME[name]
+            expected = float(int(value)) if spec.integer else value
+            assert rebuilt[name] == pytest.approx(expected)
+
+    def test_build_profile_renames(self):
+        base = get_profile("word")
+        values = clamp_values(parameter_vector(base))
+        assert build_profile(base, values, name="adv").name == "adv"
+
+    def test_lifetime_mix_sums_to_one(self):
+        base = get_profile("word")
+        values = clamp_values(parameter_vector(base))
+        values["lifetime_short"] = 0.5
+        values["lifetime_long"] = 0.3
+        profile = build_profile(base, clamp_values(values))
+        mix = profile.lifetime_mix
+        assert mix.short + mix.medium + mix.long == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scenario parameter"):
+            validate_values({"bogus": 1.0})
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ConfigError, match="pin_fraction"):
+            validate_values({"pin_fraction": 0.5})
+
+    def test_overfull_lifetime_mix_rejected(self):
+        with pytest.raises(ConfigError, match="lifetime_short"):
+            validate_values({"lifetime_short": 0.9, "lifetime_long": 0.9})
+
+    def test_clamp_rescales_lifetime_mass_under_ceiling(self):
+        clamped = clamp_values({"lifetime_short": 0.9, "lifetime_long": 0.9})
+        total = clamped["lifetime_short"] + clamped["lifetime_long"]
+        assert total <= MAX_EXTREME_LIFETIME_MASS
+        validate_values(clamped)  # must not raise
+
+    def test_clamp_output_always_validates(self):
+        # The fuzzer relies on this: any clamped vector builds a profile.
+        wild = {name: spec.high * 2 for name, spec in SPECS_BY_NAME.items()}
+        validate_values(clamp_values(wild))
+
+
+class TestMutators:
+    def test_every_mutator_yields_valid_vector(self):
+        base = clamp_values(parameter_vector(get_profile("gcc")))
+        for name in sorted(MUTATORS):
+            mutated = MUTATORS[name](dict(base), substream(11, name))
+            validate_values(mutated)
+            profile = build_profile(get_profile("gcc"), mutated)
+            assert profile.n_phases >= 1
+
+    def test_mutators_deterministic(self):
+        base = clamp_values(parameter_vector(get_profile("gcc")))
+        for name in sorted(MUTATORS):
+            a = MUTATORS[name](dict(base), substream(5, name))
+            b = MUTATORS[name](dict(base), substream(5, name))
+            assert a == b
+
+    def test_unmap_storm_raises_unmap_fraction(self):
+        base = clamp_values(parameter_vector(get_profile("word")))
+        mutated = MUTATORS["unmap-storm"](dict(base), substream(1, "u"))
+        assert mutated["unmap_fraction"] >= 0.3
+
+    def test_churn_shortens_lifetimes(self):
+        base = clamp_values(parameter_vector(get_profile("word")))
+        mutated = MUTATORS["churn"](dict(base), substream(1, "c"))
+        assert mutated["lifetime_short"] >= 0.7
+        assert mutated["lifetime_long"] <= 0.1

@@ -1,0 +1,142 @@
+"""Target statistics, measurement, and the calibration objective."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics.lifetimes import BUCKET_LABELS
+from repro.scenarios.targets import (
+    CAPACITY_FRACTIONS,
+    ScenarioTarget,
+    WorkloadStatistics,
+    measure_profile,
+    objective,
+    target_from_profile,
+)
+from repro.workloads.catalog import get_profile
+
+SCALE = 512.0
+
+
+def stats(curve=(0.2, 0.1, 0.05, 0.01), unmap=0.1):
+    return WorkloadStatistics(
+        capacity_fractions=CAPACITY_FRACTIONS,
+        miss_curve=curve,
+        lifetime_fractions=(20.0, 20.0, 20.0, 20.0, 20.0),
+        insertion_rate_kb_s=10.0,
+        unmap_fraction=unmap,
+    )
+
+
+class TestWorkloadStatistics:
+    def test_curve_length_must_match_probes(self):
+        with pytest.raises(ConfigError, match="miss curve"):
+            WorkloadStatistics(
+                capacity_fractions=(0.25, 0.5),
+                miss_curve=(0.1,),
+                lifetime_fractions=(20.0,) * len(BUCKET_LABELS),
+                insertion_rate_kb_s=1.0,
+                unmap_fraction=0.0,
+            )
+
+    def test_histogram_needs_all_buckets(self):
+        with pytest.raises(ConfigError, match="buckets"):
+            WorkloadStatistics(
+                capacity_fractions=(0.25,),
+                miss_curve=(0.1,),
+                lifetime_fractions=(50.0, 50.0),
+                insertion_rate_kb_s=1.0,
+                unmap_fraction=0.0,
+            )
+
+    def test_dict_round_trip(self):
+        original = stats()
+        assert WorkloadStatistics.from_dict(original.to_dict()) == original
+
+    def test_from_dict_missing_fields(self):
+        with pytest.raises(ConfigError, match="missing fields"):
+            WorkloadStatistics.from_dict({"miss_curve": [0.1]})
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(ConfigError, match="mapping"):
+            WorkloadStatistics.from_dict([1, 2])
+
+
+class TestScenarioTarget:
+    def test_requires_name(self):
+        with pytest.raises(ConfigError, match="non-empty"):
+            ScenarioTarget(name="", statistics=stats())
+
+    def test_unknown_weight_component(self):
+        with pytest.raises(ConfigError, match="objective component"):
+            ScenarioTarget(
+                name="t", statistics=stats(), weights=(("bogus", 1.0),)
+            )
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigError, match="non-negative"):
+            ScenarioTarget(
+                name="t", statistics=stats(), weights=(("miss_curve", -1.0),)
+            )
+
+    def test_dict_round_trip(self):
+        original = ScenarioTarget(name="t", statistics=stats())
+        rebuilt = ScenarioTarget.from_dict(original.to_dict())
+        assert rebuilt == original
+
+    def test_from_dict_needs_name_and_statistics(self):
+        with pytest.raises(ConfigError, match="'name' and 'statistics'"):
+            ScenarioTarget.from_dict({"name": "t"})
+
+
+class TestObjective:
+    def test_zero_distance_at_identity(self):
+        target = ScenarioTarget(name="t", statistics=stats())
+        total, components = objective(target, stats())
+        assert total == 0.0
+        assert all(value == 0.0 for value in components.values())
+
+    def test_mismatched_probes_rejected(self):
+        target = ScenarioTarget(name="t", statistics=stats())
+        other = WorkloadStatistics(
+            capacity_fractions=(0.25,),
+            miss_curve=(0.1,),
+            lifetime_fractions=(20.0,) * len(BUCKET_LABELS),
+            insertion_rate_kb_s=10.0,
+            unmap_fraction=0.1,
+        )
+        with pytest.raises(ConfigError, match="probes"):
+            objective(target, other)
+
+    def test_miss_curve_dominates(self):
+        target = ScenarioTarget(name="t", statistics=stats())
+        worse_curve = stats(curve=(0.4, 0.3, 0.25, 0.21))
+        worse_unmap = stats(unmap=0.3)
+        curve_total, _ = objective(target, worse_curve)
+        unmap_total, _ = objective(target, worse_unmap)
+        assert curve_total > unmap_total
+
+
+class TestMeasureProfile:
+    def test_measurement_is_deterministic(self):
+        word = get_profile("word")
+        a = measure_profile(word, 7, SCALE)
+        b = measure_profile(word, 7, SCALE)
+        assert a == b
+
+    def test_miss_curve_monotone_in_capacity(self):
+        measured = measure_profile(get_profile("word"), 7, SCALE)
+        curve = measured.miss_curve
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ConfigError, match="capacity fraction"):
+            measure_profile(get_profile("word"), 7, SCALE, fractions=(1.5,))
+
+    def test_target_from_profile_scores_zero_on_itself(self):
+        word = get_profile("word")
+        target = target_from_profile(word, 7, SCALE)
+        assert target.name == "word"
+        total, _ = objective(target, measure_profile(word, 7, SCALE))
+        assert total == 0.0

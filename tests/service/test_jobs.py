@@ -14,11 +14,11 @@ class TestJobId:
         # Pinned reference addresses: if either changes, JOB_FORMAT
         # must be bumped or every existing store blob goes stale.
         assert job_id(JobSpec(kind="experiment", experiment_id="figure-9")) == (
-            "j48b203337955c06d5602e6baa2011c5"
+            "j41741e9d41de2de3ca5dacce67584a9"
         )
         assert job_id(
             JobSpec(kind="sweep-point", benchmark="word", manager="unified")
-        ) == "j2cfc644c0e53060a99065bec7fadbf5"
+        ) == "jac44c597f0390944d52c07f4198ce81"
 
     def test_equal_specs_equal_ids(self):
         a = JobSpec(kind="experiment", experiment_id="figure-1", seed=7)

@@ -1,0 +1,123 @@
+"""scenario/calibrate jobs: spec validation, execution, table parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.experiments.scenarios import run as run_scenarios
+from repro.scenarios.registry import registered
+from repro.scenarios.targets import target_from_profile
+from repro.service.jobs import JobSpec, job_id, spec_from_dict
+from repro.service.workers import execute_job
+from repro.workloads.catalog import get_profile
+
+SCALE = 512.0
+
+
+def first_scenario_name() -> str:
+    return registered()[0].name
+
+
+def small_target() -> dict:
+    return target_from_profile(get_profile("word"), 7, SCALE).to_dict()
+
+
+class TestScenarioSpec:
+    def test_valid_spec_passes(self):
+        JobSpec(kind="scenario", scenario="cx-anything").validate()
+
+    def test_needs_scenario_name(self):
+        with pytest.raises(ConfigError, match="scenario name"):
+            JobSpec(kind="scenario").validate()
+
+    def test_round_trips_through_dict(self):
+        spec = JobSpec(kind="scenario", scenario="cx-x")
+        assert spec_from_dict(spec.to_dict()) == spec
+
+    def test_id_tracks_scenario_field(self):
+        a = JobSpec(kind="scenario", scenario="cx-a")
+        b = JobSpec(kind="scenario", scenario="cx-b")
+        assert job_id(a) != job_id(b)
+
+    def test_execute_replays_registered_scenario(self):
+        name = first_scenario_name()
+        payload = execute_job(JobSpec(kind="scenario", scenario=name))
+        assert payload["kind"] == "scenario"
+        assert payload["result"]["scenario"] == name
+        assert payload["result"]["status"] == "ok"
+        assert payload["config_digest"].startswith("j")
+
+
+class TestCalibrateSpec:
+    def test_valid_spec_passes(self):
+        JobSpec(
+            kind="calibrate", benchmark="word", target=small_target()
+        ).validate()
+
+    def test_needs_benchmark(self):
+        with pytest.raises(ConfigError, match="benchmark"):
+            JobSpec(kind="calibrate", target=small_target()).validate()
+
+    def test_needs_target(self):
+        with pytest.raises(ConfigError, match="target"):
+            JobSpec(kind="calibrate", benchmark="word").validate()
+
+    def test_malformed_target_rejected_at_submission(self):
+        with pytest.raises(ConfigError, match="statistics"):
+            JobSpec(
+                kind="calibrate", benchmark="word", target={"name": "x"}
+            ).validate()
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ConfigError, match="budget"):
+            JobSpec(
+                kind="calibrate",
+                benchmark="word",
+                target=small_target(),
+                budget=0,
+            ).validate()
+
+    def test_tolerance_must_be_positive(self):
+        with pytest.raises(ConfigError, match="tolerance"):
+            JobSpec(
+                kind="calibrate",
+                benchmark="word",
+                target=small_target(),
+                tolerance=-0.1,
+            ).validate()
+
+    def test_execute_returns_artifact_payload(self):
+        spec = JobSpec(
+            kind="calibrate",
+            benchmark="word",
+            target=small_target(),
+            seed=7,
+            scale_multiplier=SCALE,
+            budget=2,
+        )
+        payload = execute_job(spec)
+        result = payload["result"]
+        assert result["artifact"]["kind"] == "calibration"
+        assert result["artifact"]["id"].startswith("s")
+        assert result["evaluations"] <= 2
+        assert set(result["components"]) == {
+            "miss_curve", "lifetimes", "insertion_rate", "unmap_fraction",
+        }
+
+
+class TestTableParity:
+    def test_scenarios_table_identical_serial_and_parallel(self):
+        serial = run_scenarios(jobs=1)
+        parallel = run_scenarios(jobs=2)
+        assert parallel.rows == serial.rows
+        assert parallel.columns == serial.columns
+        assert parallel.notes == serial.notes
+
+    def test_cli_run_scenarios_jobs_matches_serial(self, capsys):
+        assert main(["run", "scenarios", "--quick"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["run", "scenarios", "--quick", "--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
