@@ -314,7 +314,11 @@ class FastpathApiRule(Rule):
     # serialization fast path), so it may construct the class.
     exempt_paths = ("*repro/fastpath/*", "*repro/tracelog/binary.py")
 
-    _INTERNAL_MODULES = ("repro.fastpath.compiled", "repro.fastpath.replay")
+    _INTERNAL_MODULES = (
+        "repro.fastpath.compiled",
+        "repro.fastpath.replay",
+        "repro.fastpath.kernels",
+    )
 
     def visit_Import(self, ctx: FileContext, node: ast.Import) -> None:
         for alias in node.names:
@@ -348,6 +352,13 @@ class FastpathApiRule(Rule):
                 node,
                 "direct CompiledTraceLog construction outside "
                 "repro.fastpath; use compile_log/ensure_compiled",
+            )
+        elif name == "KernelPlan":
+            ctx.report(
+                self,
+                node,
+                "direct KernelPlan construction outside repro.fastpath; "
+                "use prepare_plan",
             )
 
 

@@ -1,0 +1,906 @@
+"""Policy-specialized replay kernels (speculate / commit / abort).
+
+The batched loop (:mod:`repro.fastpath.replay`) still pays per-record
+opcode dispatch, a residency probe, and two counter writes per access
+even when the policy and config make the outcome statically known.
+This module dogfoods the paper's own thesis — compile the hot
+interpreted path into specialized code with guarded assumptions — onto
+the replay loop itself:
+
+* **Partial evaluation.**  A manager that can be driven this way
+  publishes a :class:`~repro.core.manager.KernelSpec` via
+  :meth:`~repro.core.manager.CacheManager.replay_kernel_spec`; the
+  specializer folds its shape — cache roster, promotion mode,
+  promotion threshold — into one of two executors, so the kernel body
+  contains no policy branches at all.  Cost constants are hoisted the
+  same way the batched loop hoists them.  Partial evaluation includes
+  *dead-store elimination*: per-trace ``access_count``/``last_access``
+  updates on caches the spec does not declare in
+  ``live_counter_caches`` are provably never read, so committed and
+  scalar hits alike skip them outright.
+* **Hit-streak run-length batching.**  A one-time, policy-independent
+  pass over the compiled log collapses every maximal run of access
+  records into one *streak step*, precomputing the collapsed
+  ``(trace_id, total_count, last_time)`` table, the distinct-id guard
+  set, and the run's total hit count — and, for runs longer than
+  :data:`CHUNK_RECORDS`, the same tables per fixed-size *chunk*.
+  Plain hits cannot change residency, so a single guard pass proves
+  the whole run; a committed run is retired with one bulk touch of
+  the live-counter entries (the manager's
+  :meth:`~repro.core.manager.CacheManager.touch_streak` hook) and a
+  single hit-counter add — no per-record dispatch, unpacking, or
+  accounting.
+* **Guard / commit / abort.**  Each commit is guarded: every collapsed
+  entry must be resident, and (under on-hit promotion) a probation
+  entry must have threshold headroom left and so provably not promote.
+  Guards run before any mutation, so a failed guard is a *side exit*:
+  the run retries chunk by chunk, and a chunk whose guard fails falls
+  back to the scalar loop at its precise start index with
+  bit-identical state — one conflict miss costs at most one chunk of
+  scalar replay, never the whole run.  Structural guard failures —
+  the plan not matching the log, the manager not matching its spec, or
+  the testing-only :func:`set_abort_fuzz` knob — are *aborts*:
+  speculation is disabled and the remainder of the log replays on the
+  scalar (batched-loop-equivalent) semantics, or, for prologue aborts,
+  on the actual batched loop.
+* **Vectorized columnar variant.**  The residency half of a guard
+  collapses to one C-speed ``dict.keys() >= frozenset`` superset test
+  over the precomputed distinct-id set, and the entry gather to one
+  ``map`` over the id column — stdlib ``array``/``frozenset``
+  machinery only.  For a single dead-counter cache a committed run is
+  then *just* that superset test plus one integer add.  Toggle with
+  ``REPRO_FASTPATH_VECTOR=0`` or :func:`set_vectorized`, which pins
+  the per-entry scalar probe guard instead.
+
+Plans are memoized twice: in-process on the compiled log itself, and
+on disk in :mod:`repro.fastpath.artifacts` under a content address
+covering the log's column fingerprint, the plan version, and this
+module's source bytes.  The *policy/config* half of the
+specialization — binding a plan to a concrete manager — is a handful
+of dict lookups, so only the log-shaped half is worth storing; the
+spec is re-validated against the live manager on every replay (a
+mismatch is a structural abort).
+
+Float equivalence holds for the same reason it does on the batched
+loop: a committed run or chunk consists purely of plain hits, which
+charge nothing, and every path that *can* charge (misses, creations,
+evictions, promotions) runs through the same scalar code in the same
+order as the object path.  ``tests/fastpath`` pins this down per
+policy and per generational config.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+from repro.core.effects import Evicted, EvictionReason, Inserted
+from repro.errors import LogFormatError
+from repro.fastpath.compiled import (
+    OP_ACCESS,
+    OP_CREATE,
+    OP_END,
+    OP_PIN,
+    OP_UNMAP,
+    OP_UNPIN,
+    CompiledTraceLog,
+)
+from repro.fastpath.replay import FASTPATH_TOTALS, kernels_enabled
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cachesim.simulator import CacheSimulator
+
+#: Bumped whenever the plan layout or its semantics change — part of
+#: the artifact content address, so stale on-disk plans can never load.
+PLAN_VERSION = 2
+
+#: Step kinds in a plan.
+KIND_STREAK = 0
+KIND_SCALAR = 1
+
+#: Access records per fallback chunk.  When a whole-run guard fails,
+#: the run retries in chunks of this size, so one conflict miss
+#: de-optimizes at most this many records.  Eight keeps the paper
+#: workloads' miss-adjacent records mostly inside committed chunks
+#: while the per-chunk guard stays cheap.
+CHUNK_RECORDS = 8
+
+#: ``REPRO_FASTPATH_VECTOR=0`` pins the scalar-guard kernels — the
+#: benchmark A/B switch isolating the vectorized tier's contribution.
+_VECTOR = os.environ.get("REPRO_FASTPATH_VECTOR", "1").lower() not in (
+    "0",
+    "off",
+    "no",
+    "false",
+)
+
+#: Testing-only: force a structural abort after N committed runs.
+_ABORT_AFTER: int | None = None
+
+
+def set_vectorized(enabled: bool) -> None:
+    """Allow or pin out the vectorized guards."""
+    global _VECTOR
+    _VECTOR = bool(enabled)
+
+
+def vectorized_enabled() -> bool:
+    """Whether the vectorized guards may be selected."""
+    return _VECTOR
+
+
+def set_abort_fuzz(after_commits: int | None) -> None:
+    """Force a guard abort after *after_commits* committed runs in
+    each subsequent kernel replay (None disables).  Testing hook for
+    the mid-batch abort-resume path; never set in production code."""
+    global _ABORT_AFTER
+    _ABORT_AFTER = after_commits
+
+
+class KernelPlan:
+    """The log-shaped half of a specialization, policy-independent.
+
+    ``steps`` is a list of tuples, one per plan step:
+
+    * ``(KIND_STREAK, start, end, items, tids, keyset, total_hits,
+      chunks)`` — one maximal run of access records.  ``items`` is the
+      collapsed ``(trace_id, total_count, last_time)`` table in
+      last-occurrence order, ``tids``/``keyset`` the parallel
+      distinct-id list and frozenset for the guards, ``total_hits``
+      the precomputed hit count a commit retires.  ``chunks`` holds
+      the same shape per :data:`CHUNK_RECORDS`-sized window as
+      ``(c_start, c_end, items, tids, keyset, hits)`` tuples — the
+      retry ladder a failed run guard descends — and is empty for
+      single-chunk runs.
+    * ``(KIND_SCALAR, start, end, rows)`` — a run of non-access
+      records; ``rows`` is the pre-unpacked ``(op, time, trace_id,
+      size, module_id)`` tuple list, so replaying them never touches
+      the packed columns.
+
+    Steps cover ``[0, n_records)`` up to (and including) the first
+    end-of-log record, mirroring the replay loops' early exit.
+    """
+
+    __slots__ = ("n_records", "steps")
+
+    def __init__(self, n_records: int, steps: list) -> None:
+        self.n_records = n_records
+        self.steps = steps
+
+
+def _collapse(tids, times, reps, start, end):
+    """Collapse ``[start, end)`` access records into the last-
+    occurrence-ordered ``(trace_id, total, last_time)`` table and the
+    window's total hit count."""
+    collapsed: dict[int, tuple[int, int]] = {}
+    pop = collapsed.pop
+    hits = 0
+    for k in range(start, end):
+        tid = tids[k]
+        rep = reps[k]
+        hits += rep
+        prev = pop(tid, None)
+        # pop + reinsert keeps last-occurrence order, so a committed
+        # entry's last_access lands on the right record's timestamp.
+        collapsed[tid] = (rep if prev is None else prev[0] + rep, times[k])
+    items = [(tid, total, last) for tid, (total, last) in collapsed.items()]
+    return items, hits
+
+
+def _chunk_windows(tids, times, reps, start, end):
+    """The per-chunk retry ladder for a run spanning ``[start, end)``:
+    empty when the run fits one chunk (the run guard already *is* the
+    chunk guard)."""
+    if end - start <= CHUNK_RECORDS:
+        return ()
+    chunks = []
+    for c0 in range(start, end, CHUNK_RECORDS):
+        c1 = min(end, c0 + CHUNK_RECORDS)
+        items, hits = _collapse(tids, times, reps, c0, c1)
+        ctids = [item[0] for item in items]
+        chunks.append((c0, c1, items, ctids, frozenset(ctids), hits))
+    return chunks
+
+
+def streak_step(start, end, items, total_hits, chunks=()):
+    """Assemble one streak step (shared by the builder and the
+    artifact loader, so the derived guard sets are built in one
+    place)."""
+    tids = [item[0] for item in items]
+    return (
+        KIND_STREAK, start, end, items, tids, frozenset(tids), total_hits,
+        chunks,
+    )
+
+
+def build_plan(compiled: CompiledTraceLog) -> KernelPlan:
+    """Collapse *compiled* into streak runs (with their chunk retry
+    ladders) and scalar ranges."""
+    ops = compiled.op.tolist()
+    times = compiled.time.tolist()
+    tids = compiled.trace_id.tolist()
+    sizes = compiled.size.tolist()
+    modules = compiled.module.tolist()
+    reps = compiled.repeat.tolist()
+    steps: list = []
+    n = len(ops)
+    i = 0
+    while i < n:
+        if ops[i] == OP_ACCESS:
+            j = i
+            while j < n and ops[j] == OP_ACCESS:
+                j += 1
+            items, total_hits = _collapse(tids, times, reps, i, j)
+            steps.append(
+                streak_step(
+                    i, j, items, total_hits,
+                    _chunk_windows(tids, times, reps, i, j),
+                )
+            )
+            i = j
+        else:
+            j = i
+            ended = False
+            while j < n:
+                op = ops[j]
+                if op == OP_ACCESS:
+                    break
+                j += 1
+                if op == OP_END:
+                    ended = True
+                    break
+            rows = list(
+                zip(ops[i:j], times[i:j], tids[i:j], sizes[i:j], modules[i:j])
+            )
+            steps.append((KIND_SCALAR, i, j, rows))
+            if ended:
+                break
+            i = j
+    return KernelPlan(n_records=n, steps=steps)
+
+
+def prepare_plan(compiled: CompiledTraceLog) -> KernelPlan:
+    """The memoized plan for *compiled*.
+
+    Checks the in-process memo slot, then the artifact store (keyed on
+    the column fingerprint), then builds — benchmarks call this
+    directly to measure specialization/memoization time apart from
+    replay time.
+    """
+    n = len(compiled.op)
+    cached = compiled._plan
+    if cached is not None and cached[0] == n:
+        return cached[1]
+    from repro.fastpath import artifacts
+
+    store = artifacts.get_cache()
+    if store is None:
+        plan = build_plan(compiled)
+        FASTPATH_TOTALS["plans_built"] += 1
+    else:
+        built = []
+
+        def build() -> KernelPlan:
+            built.append(True)
+            return build_plan(compiled)
+
+        plan = store.kernel_plan(compiled, build)
+        if built:
+            FASTPATH_TOTALS["plans_built"] += 1
+        else:
+            FASTPATH_TOTALS["plans_loaded"] += 1
+    compiled._plan = (n, plan)
+    return plan
+
+
+def replay_specialized(sim: CacheSimulator, compiled: CompiledTraceLog) -> bool:
+    """Replay *compiled* through a policy-specialized kernel.
+
+    Returns False — leaving *sim* untouched, so the caller falls back
+    to the batched loop — when kernels are pinned off, the manager
+    publishes no spec, or a structural prologue guard fails.
+    """
+    if not kernels_enabled():
+        return False
+    manager = sim.manager
+    spec = manager.replay_kernel_spec()
+    if spec is None:
+        return False
+    plan = prepare_plan(compiled)
+    names = tuple(cache.name for cache in manager.caches())
+    live = spec.live_counter_caches
+    # Prologue structural guards: the plan must describe this exact
+    # log and the spec this exact manager (and a shape the executors
+    # were built for: at most one live-counter cache, and a guarded
+    # cache that is itself live — its counters feed the threshold
+    # guard).  A mismatch is an abort — the replay resumes (from
+    # record zero, nothing has run) on the batched loop.
+    if (
+        plan.n_records != len(compiled.op)
+        or names != spec.cache_names
+        or len(live) > 1
+        or any(name not in names for name in live)
+        or (
+            spec.guarded_cache is not None
+            and (
+                spec.promotion_threshold is None
+                or live != (spec.guarded_cache,)
+            )
+        )
+    ):
+        FASTPATH_TOTALS["guard_aborts"] += 1
+        return False
+    if spec.kind == "single" and len(names) == 1 and spec.guarded_cache is None:
+        _exec_single(sim, compiled, plan, _VECTOR, bool(live))
+    elif spec.kind == "multi":
+        _exec_multi(sim, compiled, plan, spec, _VECTOR)
+    else:
+        FASTPATH_TOTALS["guard_aborts"] += 1
+        return False
+    return True
+
+
+def _exec_single(
+    sim: CacheSimulator,
+    compiled: CompiledTraceLog,
+    plan: KernelPlan,
+    vectorized: bool,
+    live: bool,
+) -> None:
+    """The single-cache kernel: the cache's own trace table is the
+    residency map, and no hit can ever emit effects.  With dead
+    counters (*live* False — nothing reads the per-trace counters) a
+    committed run is one residency guard plus one hit-counter add, and
+    even scalar hits reduce to a membership probe."""
+    manager = sim.manager
+    account = sim.account
+    stats = sim.stats
+    touch_streak = manager.touch_streak
+    pin = manager.pin
+    unpin = manager.unpin
+    unmap = manager.unmap_module
+    if account is not None:
+        model = account.model
+        ev_per, ev_base = model.eviction_per_byte, model.eviction_base
+        pr_per, pr_base = model.promotion_per_byte, model.promotion_base
+        cs2 = 2 * model.context_switch
+        gen_scale = model.generation_scale
+        gen_exp = model.generation_exponent
+
+    cache = manager.caches()[0]
+    cache_name = cache.name
+    cache_insert = cache.insert
+    table = cache.resident_map()
+    table_keys = table.keys()
+    getter = table.__getitem__
+
+    known: dict[int, tuple[int, int]] = {}
+    kget = known.get
+    pending_pins: set[int] = set()
+
+    hits = misses = creations = 0
+    evictions = unmap_evictions = flush_evictions = 0
+    evicted_bytes = 0
+
+    unmap_reason = EvictionReason.UNMAP
+    flush_reason = EvictionReason.FLUSH
+
+    def fold(effects) -> None:
+        # Unmap effects only — residency lives in the cache's own
+        # table, so folding is pure counter updates and effect
+        # pricing, in _absorb order.
+        nonlocal evictions, unmap_evictions, flush_evictions, evicted_bytes
+        for effect in effects:
+            if type(effect) is Evicted:
+                reason = effect.reason
+                if reason is unmap_reason:
+                    unmap_evictions += 1
+                elif reason is flush_reason:
+                    flush_evictions += 1
+                else:
+                    evictions += 1
+                evicted_bytes += effect.size
+                if account is not None:
+                    account.evictions += ev_per * effect.size + ev_base
+
+    def charged_insert(trace_id: int, size: int, module_id: int, time: int):
+        # Partial evaluation of the manager's insert wrapper: with one
+        # cache the Inserted/Evicted effect records carry no residency
+        # information the kernel needs, so it prices the creation and
+        # the victims straight off the InsertResult and never builds
+        # them.  Accumulation order per account field matches
+        # charge_trace_creation + charge_effects exactly.
+        nonlocal evictions, flush_evictions, evicted_bytes
+        if account is not None:
+            account.context_switches += cs2
+            account.generation += gen_scale * size**gen_exp
+            account.promotions += pr_per * size + pr_base
+        result = cache_insert(trace_id, size, module_id, time)
+        victims = result.evicted
+        if victims:
+            # ``flushed`` is only ever set by the preemptive-flush
+            # policy, so it alone classifies FLUSH vs CAPACITY.
+            if result.flushed:
+                flush_evictions += len(victims)
+            else:
+                evictions += len(victims)
+            for victim in victims:
+                evicted_bytes += victim.size
+                if account is not None:
+                    account.evictions += ev_per * victim.size + ev_base
+
+    time_col = compiled.time
+    tid_col = compiled.trace_id
+    repeat_col = compiled.repeat
+
+    def scalar_range(a: int, b: int) -> None:
+        # The de-optimized path: per-record access replay for
+        # ``[a, b)``, bit-identical to the batched loop's access arm.
+        nonlocal hits, misses
+        rows = zip(
+            tid_col[a:b].tolist(),
+            time_col[a:b].tolist(),
+            repeat_col[a:b].tolist(),
+        )
+        for trace_id, time, repeat in rows:
+            if trace_id in table:
+                if live:
+                    trace = table[trace_id]
+                    trace.access_count += repeat
+                    trace.last_access = time
+                hits += repeat
+            else:
+                info = kget(trace_id)
+                if info is None:
+                    raise LogFormatError(
+                        f"access to trace {trace_id} before its creation"
+                    )
+                size, module_id = info
+                misses += 1
+                charged_insert(trace_id, size, module_id, time)
+                if trace_id in pending_pins:
+                    pin(trace_id)
+                remaining = repeat - 1
+                if remaining > 0:
+                    if trace_id in table:
+                        if live:
+                            trace = table[trace_id]
+                            trace.access_count += remaining
+                            trace.last_access = time
+                        hits += remaining
+                    else:
+                        misses += remaining
+                        if account is not None:
+                            for _ in range(remaining):
+                                account.context_switches += cs2
+                                account.generation += gen_scale * size**gen_exp
+                                account.promotions += pr_per * size + pr_base
+
+    streak_records = segment_commits = side_exits = aborts = 0
+    committed = 0
+    abort_after = _ABORT_AFTER
+    speculate = True
+    ended = False
+
+    for step in plan.steps:
+        if ended:
+            break
+        if step[0] == KIND_STREAK:
+            start = step[1]
+            end = step[2]
+            if speculate:
+                if abort_after is not None and committed >= abort_after:
+                    speculate = False
+                    aborts += 1
+                elif vectorized:
+                    if table_keys >= step[5]:
+                        if live:
+                            touch_streak(list(map(getter, step[4])), step[3])
+                        hits += step[6]
+                        streak_records += end - start
+                        segment_commits += 1
+                        committed += 1
+                        continue
+                    side_exits += 1
+                else:
+                    for tid in step[4]:
+                        if tid not in table:
+                            side_exits += 1
+                            break
+                    else:
+                        if live:
+                            touch_streak(list(map(getter, step[4])), step[3])
+                        hits += step[6]
+                        streak_records += end - start
+                        segment_commits += 1
+                        committed += 1
+                        continue
+            # Side exit: retry the run chunk by chunk, so one miss
+            # de-optimizes one chunk, not the whole run.  Guards
+            # mutate nothing, so every fallback starts from the exact
+            # chunk boundary.  (After an abort the whole run replays
+            # scalar.)
+            chunks = step[7]
+            if speculate and chunks:
+                for chunk in chunks:
+                    if vectorized:
+                        if table_keys >= chunk[4]:
+                            if live:
+                                touch_streak(
+                                    list(map(getter, chunk[3])), chunk[2]
+                                )
+                            hits += chunk[5]
+                            streak_records += chunk[1] - chunk[0]
+                            segment_commits += 1
+                            continue
+                        side_exits += 1
+                    else:
+                        for tid in chunk[3]:
+                            if tid not in table:
+                                side_exits += 1
+                                break
+                        else:
+                            if live:
+                                touch_streak(
+                                    list(map(getter, chunk[3])), chunk[2]
+                                )
+                            hits += chunk[5]
+                            streak_records += chunk[1] - chunk[0]
+                            segment_commits += 1
+                            continue
+                    scalar_range(chunk[0], chunk[1])
+            else:
+                scalar_range(start, end)
+        else:
+            for op, time, trace_id, size, module_id in step[3]:
+                if op == OP_CREATE:
+                    known[trace_id] = (size, module_id)
+                    creations += 1
+                    charged_insert(trace_id, size, module_id, time)
+                elif op == OP_UNMAP:
+                    fold(unmap(module_id, time))
+                    if pending_pins:
+                        for dead_id, (_, mod) in known.items():
+                            if mod == module_id:
+                                pending_pins.discard(dead_id)
+                elif op == OP_PIN:
+                    if trace_id in table:
+                        pin(trace_id)
+                    else:
+                        pending_pins.add(trace_id)
+                elif op == OP_UNPIN:
+                    pending_pins.discard(trace_id)
+                    if trace_id in table:
+                        unpin(trace_id)
+                else:  # OP_END
+                    ended = True
+                    break
+
+    stats.accesses += hits + misses
+    stats.hits += hits
+    stats.misses += misses
+    stats.creations += creations
+    stats.evictions += evictions
+    stats.unmap_evictions += unmap_evictions
+    stats.flush_evictions += flush_evictions
+    stats.evicted_bytes += evicted_bytes
+    if hits:
+        stats.hits_by_cache[cache_name] = (
+            stats.hits_by_cache.get(cache_name, 0) + hits
+        )
+    _flush_totals(
+        plan.n_records, vectorized, streak_records, segment_commits,
+        side_exits, aborts,
+    )
+
+
+def _exec_multi(
+    sim: CacheSimulator,
+    compiled: CompiledTraceLog,
+    plan: KernelPlan,
+    spec,
+    vectorized: bool,
+) -> None:
+    """The multi-cache kernel: residency tracked as ``trace_id ->
+    slot`` from the effect stream.  Counter updates happen only on the
+    (single) live-counter cache, probed through that cache's own trace
+    table; under on-hit promotion the live cache's entries additionally
+    carry the threshold-headroom guard."""
+    manager = sim.manager
+    account = sim.account
+    stats = sim.stats
+    insert = manager.insert
+    touch_streak = manager.touch_streak
+    pin = manager.pin
+    unpin = manager.unpin
+    unmap = manager.unmap_module
+    if account is not None:
+        model = account.model
+        ev_per, ev_base = model.eviction_per_byte, model.eviction_base
+        pr_per, pr_base = model.promotion_per_byte, model.promotion_base
+        cs2 = 2 * model.context_switch
+        gen_scale = model.generation_scale
+        gen_exp = model.generation_exponent
+
+    names = spec.cache_names
+    n_slots = len(names)
+    guarded = spec.guarded_cache is not None
+    threshold = spec.promotion_threshold or 0
+    guard_handler = (
+        manager.hit_handler(spec.guarded_cache) if guarded else None
+    )
+
+    caches = manager.caches()
+    slot_of = {cache.name: slot for slot, cache in enumerate(caches)}
+    live_names = spec.live_counter_caches
+    live_slot = slot_of[live_names[0]] if live_names else -1
+    # The live cache's own trace table is the ground truth for its
+    # counter records; the prologue guard guarantees at most one.
+    live_table = caches[live_slot].resident_map() if live_names else {}
+    lget = live_table.__getitem__
+
+    known: dict[int, tuple[int, int]] = {}
+    kget = known.get
+    pending_pins: set[int] = set()
+    resident: dict[int, int] = {}
+    # Seed from the live tables so a pre-populated manager replays
+    # identically to the object path's lookup-based residency.
+    for slot, cache in enumerate(caches):
+        for trace_id in cache.resident_map():
+            resident[trace_id] = slot
+    rget = resident.get
+    rix = resident.__getitem__
+    resident_keys = resident.keys()
+
+    hits = misses = creations = 0
+    evictions = unmap_evictions = flush_evictions = 0
+    evicted_bytes = promotions = promoted_bytes = 0
+    counts = [0] * n_slots
+
+    unmap_reason = EvictionReason.UNMAP
+    flush_reason = EvictionReason.FLUSH
+
+    def fold(effects) -> None:
+        # Mirrors the batched loop's fold: residency + counters +
+        # pricing in _absorb / charge_effects order.  Residency is a
+        # bare slot int, so an insert-then-evict cascade needs no
+        # object capture — the later Evicted effect just pops the slot.
+        nonlocal evictions, unmap_evictions, flush_evictions
+        nonlocal evicted_bytes, promotions, promoted_bytes
+        for effect in effects:
+            kind = type(effect)
+            if kind is Inserted:
+                resident[effect.trace_id] = slot_of[effect.cache]
+            elif kind is Evicted:
+                resident.pop(effect.trace_id, None)
+                reason = effect.reason
+                if reason is unmap_reason:
+                    unmap_evictions += 1
+                elif reason is flush_reason:
+                    flush_evictions += 1
+                else:
+                    evictions += 1
+                evicted_bytes += effect.size
+                if account is not None:
+                    account.evictions += ev_per * effect.size + ev_base
+            else:  # Promoted
+                resident[effect.trace_id] = slot_of[effect.dst]
+                promotions += 1
+                promoted_bytes += effect.size
+                if account is not None:
+                    account.promotions += pr_per * effect.size + pr_base
+
+    def try_commit(items, keyset) -> bool:
+        # One guarded commit attempt for a run or chunk.  Everything
+        # accumulates into locals first; nothing is mutated until every
+        # entry passes, so a failed guard is a pure side exit.
+        if vectorized:
+            if not (resident_keys >= keyset):
+                return False
+            # Superset proven: the probe can skip the None test.
+            probe = rix
+        else:
+            probe = rget
+        tmp = [0] * n_slots
+        live_traces: list = []
+        live_items: list = []
+        for item in items:
+            slot = probe(item[0])
+            if slot is None:
+                return False
+            tmp[slot] += item[1]
+            if slot == live_slot:
+                trace = lget(item[0])
+                if guarded and (
+                    trace.access_count + item[1] >= threshold
+                    and not trace.pinned
+                ):
+                    # The streak would promote this entry mid-run:
+                    # bail before mutating.
+                    return False
+                live_traces.append(trace)
+                live_items.append(item)
+        for slot in range(n_slots):
+            counts[slot] += tmp[slot]
+        if live_items:
+            touch_streak(live_traces, live_items)
+        return True
+
+    time_col = compiled.time
+    tid_col = compiled.trace_id
+    repeat_col = compiled.repeat
+
+    def scalar_range(a: int, b: int) -> None:
+        # The de-optimized path: per-record access replay for
+        # ``[a, b)``, bit-identical to the batched loop's access arm.
+        nonlocal hits, misses
+        rows = zip(
+            tid_col[a:b].tolist(),
+            time_col[a:b].tolist(),
+            repeat_col[a:b].tolist(),
+        )
+        for trace_id, time, repeat in rows:
+            slot = rget(trace_id)
+            if slot is not None:
+                if slot == live_slot:
+                    if guarded:
+                        effects = guard_handler(trace_id, time, repeat)
+                        if effects:
+                            fold(effects)
+                    else:
+                        trace = lget(trace_id)
+                        trace.access_count += repeat
+                        trace.last_access = time
+                hits += repeat
+                counts[slot] += repeat
+            else:
+                info = kget(trace_id)
+                if info is None:
+                    raise LogFormatError(
+                        f"access to trace {trace_id} before its creation"
+                    )
+                size, module_id = info
+                misses += 1
+                if account is not None:
+                    # charge_trace_creation, unrolled with the model
+                    # constants hoisted (same field order, so float
+                    # accumulation is bit-identical).
+                    account.context_switches += cs2
+                    account.generation += gen_scale * size**gen_exp
+                    account.promotions += pr_per * size + pr_base
+                fold(insert(trace_id, size, module_id, time))
+                if trace_id in pending_pins:
+                    pin(trace_id)
+                remaining = repeat - 1
+                if remaining > 0:
+                    slot = rget(trace_id)
+                    if slot is None:
+                        misses += remaining
+                        if account is not None:
+                            for _ in range(remaining):
+                                account.context_switches += cs2
+                                account.generation += gen_scale * size**gen_exp
+                                account.promotions += pr_per * size + pr_base
+                    else:
+                        if slot == live_slot:
+                            if guarded:
+                                effects = guard_handler(
+                                    trace_id, time, remaining
+                                )
+                                if effects:
+                                    fold(effects)
+                            else:
+                                trace = lget(trace_id)
+                                trace.access_count += remaining
+                                trace.last_access = time
+                        hits += remaining
+                        counts[slot] += remaining
+
+    streak_records = segment_commits = side_exits = aborts = 0
+    committed = 0
+    abort_after = _ABORT_AFTER
+    speculate = True
+    ended = False
+
+    for step in plan.steps:
+        if ended:
+            break
+        if step[0] == KIND_STREAK:
+            start = step[1]
+            end = step[2]
+            if speculate:
+                if abort_after is not None and committed >= abort_after:
+                    speculate = False
+                    aborts += 1
+                elif try_commit(step[3], step[5]):
+                    hits += step[6]
+                    streak_records += end - start
+                    segment_commits += 1
+                    committed += 1
+                    continue
+                else:
+                    side_exits += 1
+            # Side exit: retry the run chunk by chunk, so one miss or
+            # imminent promotion de-optimizes one chunk, not the whole
+            # run.  Guards mutate nothing, so every fallback starts
+            # from the exact chunk boundary.  (After an abort the
+            # whole run replays scalar.)
+            chunks = step[7]
+            if speculate and chunks:
+                for chunk in chunks:
+                    if try_commit(chunk[2], chunk[4]):
+                        hits += chunk[5]
+                        streak_records += chunk[1] - chunk[0]
+                        segment_commits += 1
+                    else:
+                        side_exits += 1
+                        scalar_range(chunk[0], chunk[1])
+            else:
+                scalar_range(start, end)
+        else:
+            for op, time, trace_id, size, module_id in step[3]:
+                if op == OP_CREATE:
+                    known[trace_id] = (size, module_id)
+                    creations += 1
+                    if account is not None:
+                        account.context_switches += cs2
+                        account.generation += gen_scale * size**gen_exp
+                        account.promotions += pr_per * size + pr_base
+                    fold(insert(trace_id, size, module_id, time))
+                elif op == OP_UNMAP:
+                    fold(unmap(module_id, time))
+                    if pending_pins:
+                        for dead_id, (_, mod) in known.items():
+                            if mod == module_id:
+                                pending_pins.discard(dead_id)
+                elif op == OP_PIN:
+                    if trace_id in resident:
+                        pin(trace_id)
+                    else:
+                        pending_pins.add(trace_id)
+                elif op == OP_UNPIN:
+                    pending_pins.discard(trace_id)
+                    if trace_id in resident:
+                        unpin(trace_id)
+                else:  # OP_END
+                    ended = True
+                    break
+
+    stats.accesses += hits + misses
+    stats.hits += hits
+    stats.misses += misses
+    stats.creations += creations
+    stats.evictions += evictions
+    stats.unmap_evictions += unmap_evictions
+    stats.flush_evictions += flush_evictions
+    stats.promotions += promotions
+    stats.evicted_bytes += evicted_bytes
+    stats.promoted_bytes += promoted_bytes
+    for name, count in zip(names, counts):
+        if count:
+            stats.hits_by_cache[name] = (
+                stats.hits_by_cache.get(name, 0) + count
+            )
+    _flush_totals(
+        plan.n_records, vectorized, streak_records, segment_commits,
+        side_exits, aborts,
+    )
+
+
+def _flush_totals(
+    n_records: int,
+    vectorized: bool,
+    streak_records: int,
+    segment_commits: int,
+    side_exits: int,
+    aborts: int,
+) -> None:
+    FASTPATH_TOTALS["fast_replays"] += 1
+    FASTPATH_TOTALS["specialized_replays"] += 1
+    if vectorized:
+        FASTPATH_TOTALS["vectorized_replays"] += 1
+    FASTPATH_TOTALS["records_replayed"] += n_records
+    FASTPATH_TOTALS["streak_records"] += streak_records
+    FASTPATH_TOTALS["segment_commits"] += segment_commits
+    FASTPATH_TOTALS["segment_side_exits"] += side_exits
+    FASTPATH_TOTALS["guard_aborts"] += aborts

@@ -21,7 +21,7 @@ from repro.errors import (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class CachedTrace:
     """A trace resident in a code cache.
 
@@ -45,7 +45,7 @@ class CachedTrace:
     pinned: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class InsertResult:
     """Outcome of one insertion.
 
@@ -68,10 +68,24 @@ class CodeCache(abc.ABC):
     #: Short policy name used in configs and reports.
     policy_name: str = "abstract"
 
+    #: Whether the policy ever *reads* a resident trace's
+    #: ``access_count`` / ``last_access`` fields (e.g. LFU's coldest-
+    #: first victim scan).  The replay kernels treat counter updates on
+    #: caches where nothing reads them as dead stores and elide them
+    #: entirely; a policy that consults the counters must set this True
+    #: so its cache is declared *live* in the manager's
+    #: :class:`~repro.core.manager.KernelSpec` (or excluded from
+    #: specialization altogether).
+    reads_trace_counters: bool = False
+
     def __init__(self, capacity: int, name: str = "cache") -> None:
         self.name = name
         self.arena = Arena(capacity)
         self._traces: dict[int, CachedTrace] = {}
+        # Live count of pinned residents; all pin-flag writes go
+        # through pin()/unpin(), so the count lets hot paths skip the
+        # per-victim pinned scan when nothing is pinned at all.
+        self._pinned_count = 0
         # Policies that track recency (LRU, oracle) override
         # _after_touch; hoisting the hook lets record_hits skip a
         # million no-op calls per replay for the ones that don't.
@@ -135,6 +149,18 @@ class CodeCache(abc.ABC):
     def traces(self) -> list[CachedTrace]:
         """All resident traces in arena address order."""
         return [self._traces[tid] for tid in self.arena.trace_ids()]
+
+    def resident_map(self) -> dict[int, CachedTrace]:
+        """The live trace table, keyed by trace id.
+
+        This is the replay kernels' residency source: for a
+        single-cache manager the table itself *is* the residency map,
+        so the kernel probes it directly instead of maintaining a
+        shadow copy from the effect stream.  Callers must treat the
+        dict as read-only — residency changes go through
+        :meth:`insert` / :meth:`remove` / :meth:`flush`.
+        """
+        return self._traces
 
     def fragmentation(self) -> float:
         """Current external fragmentation of the arena."""
@@ -237,11 +263,17 @@ class CodeCache(abc.ABC):
 
     def pin(self, trace_id: int) -> None:
         """Mark a trace undeletable (Section 4.2)."""
-        self.get(trace_id).pinned = True
+        trace = self.get(trace_id)
+        if not trace.pinned:
+            trace.pinned = True
+            self._pinned_count += 1
 
     def unpin(self, trace_id: int) -> None:
         """Make a trace deletable again."""
-        self.get(trace_id).pinned = False
+        trace = self.get(trace_id)
+        if trace.pinned:
+            trace.pinned = False
+            self._pinned_count -= 1
 
     # ------------------------------------------------------------------
     # Policy hooks
@@ -276,6 +308,8 @@ class CodeCache(abc.ABC):
         trace = self.get(trace_id)
         self.arena.remove(trace_id)
         del self._traces[trace_id]
+        if trace.pinned:
+            self._pinned_count -= 1
         return trace
 
     def check_invariants(self) -> None:
@@ -314,6 +348,14 @@ class CodeCache(abc.ABC):
                     cache=self.name,
                     trace_id=trace_id,
                 )
+        pinned = sum(1 for trace in self._traces.values() if trace.pinned)
+        if pinned != self._pinned_count:
+            raise InvariantViolation(
+                "cache-consistency",
+                f"pinned-count accounting is stale: {pinned} pinned "
+                f"residents, counter reports {self._pinned_count}",
+                cache=self.name,
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -17,8 +17,8 @@ bend the pure circle:
 
 from __future__ import annotations
 
-from repro.errors import CacheFullError, TraceTooLargeError
-from repro.policies.base import CachedTrace, CodeCache
+from repro.errors import CacheFullError, DuplicateTraceError, TraceTooLargeError
+from repro.policies.base import CachedTrace, CodeCache, InsertResult
 
 
 class PseudoCircularCache(CodeCache):
@@ -35,11 +35,66 @@ class PseudoCircularCache(CodeCache):
         super().__init__(capacity, name)
         self._pointer = 0
         self.fill_holes = fill_holes
+        # The fused insert below hand-inlines _allocate's steady state
+        # and the pointer bump; a subclass overriding either hook gets
+        # the general path so its overrides keep working.
+        cls = type(self)
+        self._fused_insert = (
+            not fill_holes
+            and cls._allocate is PseudoCircularCache._allocate
+            and cls._after_insert is PseudoCircularCache._after_insert
+        )
 
     @property
     def pointer(self) -> int:
         """The current insertion/eviction offset."""
         return self._pointer
+
+    def insert(
+        self,
+        trace_id: int,
+        size: int,
+        module_id: int,
+        time: int = 0,
+    ) -> InsertResult:
+        """The steady-state insertion, fused into one pass.
+
+        With no pinned residents and hole-filling off, the placement
+        window is exactly ``[pointer, pointer + size)`` (wrapped once
+        if it would cross capacity) and every resident overlapping it
+        is evicted — no reset loop can trigger, so the generic
+        allocate / drop-each-victim / place pipeline collapses into a
+        single :meth:`~repro.cachesim.arena.Arena.displace` call.
+        Inserts dominate replay wall time at the paper's capacity
+        pressure, which is why this path is worth the duplication; any
+        pinned trace or configuration wrinkle defers to the general
+        implementation, and the outcome is identical either way (the
+        equivalence suite replays both against each other).
+        """
+        if self._pinned_count or not self._fused_insert:
+            return super().insert(trace_id, size, module_id, time)
+        traces = self._traces
+        if trace_id in traces:
+            raise DuplicateTraceError(
+                f"trace {trace_id} already resident in cache {self.name!r}"
+            )
+        arena = self.arena
+        capacity = arena.capacity
+        if size > capacity:
+            raise TraceTooLargeError(
+                f"trace {trace_id} ({size} B) exceeds cache "
+                f"{self.name!r} capacity ({capacity} B)"
+            )
+        pointer = self._pointer
+        if pointer + size > capacity:
+            pointer = 0
+        victims = arena.displace(trace_id, pointer, size)
+        trace = CachedTrace(trace_id, size, module_id, time, 0, time, False)
+        traces[trace_id] = trace
+        evicted = [traces.pop(v.trace_id) for v in victims] if victims else []
+        pointer += size
+        self._pointer = 0 if pointer >= capacity else pointer
+        return InsertResult(inserted=trace, evicted=evicted)
 
     def _allocate(self, trace: CachedTrace) -> tuple[int, list[int]]:
         size = trace.size

@@ -38,6 +38,7 @@ from repro.errors import (
     JobQueueFullError,
     ServiceError,
 )
+from repro.fastpath import FASTPATH_TOTALS
 from repro.service import workers as workers_module
 from repro.service.jobs import JobSpec, job_id as compute_job_id
 from repro.service.store import ResultStore
@@ -170,6 +171,9 @@ class Scheduler:
         self._jobs: dict[str, JobRecord] = {}
         self._pending: collections.deque[str] = collections.deque()
         self._retry_at: dict[str, float] = {}
+        # Fast-path replay counters aggregated across every completed
+        # job's worker-side delta (the "fastpath" block of /metrics).
+        self._fastpath_totals = {key: 0 for key in FASTPATH_TOTALS}
         self._lock = threading.RLock()
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
@@ -403,6 +407,7 @@ class Scheduler:
                 "workers_alive": self.workers_alive(),
                 "workers_busy": busy,
                 "worker_utilization": busy / self.n_workers,
+                "fastpath": dict(self._fastpath_totals),
             }
 
     # ------------------------------------------------------------------
@@ -439,6 +444,13 @@ class Scheduler:
                 record.payload = event[2]
                 record.state = DONE
                 self.metrics.completed += 1
+                # Workers append their FASTPATH_TOTALS delta as a
+                # fourth element (older/injected worker targets may
+                # still send three-tuples).
+                if len(event) > 3 and event[3]:
+                    totals = self._fastpath_totals
+                    for key, value in event[3].items():
+                        totals[key] = totals.get(key, 0) + value
             else:
                 self._register_failure(record, str(event[2]))
         if kind == "done" and self.store is not None:

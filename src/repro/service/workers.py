@@ -23,6 +23,7 @@ from repro.analysis.sanitizer import (
 )
 from repro.cachesim.simulator import simulate_log
 from repro.cachesim.stats import SimulationResult
+from repro.fastpath import FASTPATH_TOTALS
 from repro.core.generational import GenerationalCacheManager
 from repro.core.unified import UnifiedCacheManager
 from repro.errors import ConfigError, ReproError
@@ -241,13 +242,20 @@ def execute_job(spec: JobSpec) -> dict:
 def worker_main(slot: int, tasks, events) -> None:
     """Worker process loop: pull ``(job_id, spec_dict)`` assignments
     from this worker's private *tasks* queue until a ``None`` sentinel,
-    reporting ``("done", job_id, payload)`` / ``("error", job_id,
-    message)`` on its private *events* queue."""
+    reporting ``("done", job_id, payload, fastpath_delta)`` /
+    ``("error", job_id, message)`` on its private *events* queue.
+
+    The fast-path counter delta rides in the event tuple, *not* the
+    payload: payloads are content-addressed into the result store and
+    must stay byte-identical across replay tiers, whereas the deltas
+    differ by tier (that difference is exactly what ``/metrics``
+    surfaces)."""
     while True:
         item = tasks.get()
         if item is None:
             return
         job_id, spec_dict = item
+        before = dict(FASTPATH_TOTALS)
         try:
             payload = execute_job(spec_from_dict(spec_dict))
         except ReproError as exc:
@@ -255,4 +263,9 @@ def worker_main(slot: int, tasks, events) -> None:
         except Exception as exc:  # defensive: never kill the loop
             events.put(("error", job_id, f"{type(exc).__name__}: {exc}"))
         else:
-            events.put(("done", job_id, payload))
+            delta = {
+                key: value - before.get(key, 0)
+                for key, value in FASTPATH_TOTALS.items()
+                if value - before.get(key, 0)
+            }
+            events.put(("done", job_id, payload, delta))

@@ -1,8 +1,10 @@
 """Object path vs compiled fast path: byte-identical results.
 
 Every policy, both manager families, every generational promotion
-config — the two replay paths must agree on the full
-:class:`~repro.cachesim.stats.SimulationResult`, including the
+config — and every compiled replay tier (the batched loop, the
+specialized kernels with scalar guards, and the kernels with the
+vectorized columnar guards) must agree with the object path on the
+full :class:`~repro.cachesim.stats.SimulationResult`, including the
 float-accumulated overhead instruction totals (``==``, not isclose:
 the fast path charges effects in the same order, so the floats match
 bit for bit).
@@ -18,11 +20,14 @@ from repro.core.generational import GenerationalCacheManager
 from repro.core.unified import UnifiedCacheManager
 from repro.fastpath import (
     FASTPATH_TOTALS,
+    batched_path,
     compile_log,
     disable_fastpath,
     enable_fastpath,
     fastpath_enabled,
     object_path,
+    set_vectorized,
+    vectorized_enabled,
 )
 from repro.overhead.model import TABLE2_COSTS
 from repro.policies import POLICIES
@@ -58,21 +63,44 @@ LOGS = {
 
 
 def assert_equivalent(log, make_manager, cost_model=TABLE2_COSTS):
+    """Replay *log* through every compiled tier and compare each
+    against the object path.  Managers without a kernel spec simply
+    take the batched loop on the kernel tiers — the equivalence
+    contract is the same either way."""
     compiled = compile_log(log)
     with object_path():
         reference = CacheSimulator(make_manager(), cost_model).run(log)
-    before = FASTPATH_TOTALS["fast_replays"]
-    outcome = CacheSimulator(make_manager(), cost_model).run(compiled)
-    assert FASTPATH_TOTALS["fast_replays"] == before + 1, (
-        "compiled replay did not take the fast path"
-    )
-    assert outcome.stats == reference.stats
-    assert outcome.overhead_instructions == reference.overhead_instructions
-    assert outcome.final_fragmentation == reference.final_fragmentation
-    assert outcome.final_occupancy == reference.final_occupancy
-    assert outcome.benchmark == reference.benchmark
-    assert outcome.manager_name == reference.manager_name
-    return outcome
+    outcomes = {}
+    was_vectorized = vectorized_enabled()
+    try:
+        with batched_path():
+            outcomes["batched"] = CacheSimulator(
+                make_manager(), cost_model
+            ).run(compiled)
+        set_vectorized(False)
+        outcomes["specialized"] = CacheSimulator(
+            make_manager(), cost_model
+        ).run(compiled)
+        set_vectorized(True)
+        before = FASTPATH_TOTALS["fast_replays"]
+        outcomes["vectorized"] = CacheSimulator(
+            make_manager(), cost_model
+        ).run(compiled)
+        assert FASTPATH_TOTALS["fast_replays"] == before + 1, (
+            "compiled replay did not take the fast path"
+        )
+    finally:
+        set_vectorized(was_vectorized)
+    for tier, outcome in outcomes.items():
+        assert outcome.stats == reference.stats, tier
+        assert (
+            outcome.overhead_instructions == reference.overhead_instructions
+        ), tier
+        assert outcome.final_fragmentation == reference.final_fragmentation
+        assert outcome.final_occupancy == reference.final_occupancy
+        assert outcome.benchmark == reference.benchmark
+        assert outcome.manager_name == reference.manager_name
+    return outcomes["vectorized"]
 
 
 def _capacity(log, fraction=0.5):
