@@ -66,13 +66,16 @@ class NoNondeterminismRule(Rule):
     )
     severity = Severity.ERROR
     # scheduler.py, client.py and profiling.py legitimately consume
-    # wall-clock time (timeouts, backoff, polling, phase timings); they
-    # never touch simulated state.
+    # wall-clock time (timeouts, backoff, polling, phase timings), and
+    # the cluster serving layer (admission buckets, latency benchmarks)
+    # is wall-clock territory end to end; none of them touch simulated
+    # state.
     exempt_paths = (
         "*repro/rand.py",
         "*repro/service/scheduler.py",
         "*repro/service/client.py",
         "*repro/fastpath/profiling.py",
+        "*repro/cluster/*",
     )
 
     def visit_Import(self, ctx: FileContext, node: ast.Import) -> None:
@@ -116,11 +119,11 @@ class NoRawConcurrencyRule(Rule):
     rule_id = "no-raw-concurrency"
     description = (
         "threading/multiprocessing/queue/concurrent/asyncio imports are "
-        "confined to repro.service; the simulation core stays "
-        "single-threaded"
+        "confined to repro.service and repro.cluster; the simulation "
+        "core stays single-threaded"
     )
     severity = Severity.ERROR
-    exempt_paths = ("*repro/service/*",)
+    exempt_paths = ("*repro/service/*", "*repro/cluster/*")
 
     def visit_Import(self, ctx: FileContext, node: ast.Import) -> None:
         for alias in node.names:
@@ -141,6 +144,61 @@ class NoRawConcurrencyRule(Rule):
                 node,
                 f"import from concurrency module {root!r} outside "
                 "repro.service; dispatch through the service layer",
+            )
+
+
+@register
+class ClusterApiRule(Rule):
+    """The event-loop seam stays inside :mod:`repro.cluster`: ``asyncio``
+    is confined there (tightening ``no-raw-concurrency``, which also
+    admits it in :mod:`repro.service`), and the
+    :class:`~repro.cluster.events.EventBus` thread→loop bridge may only
+    be constructed by cluster code — other layers consume events through
+    the streaming HTTP API or scheduler listeners, never by publishing
+    onto someone else's loop."""
+
+    rule_id = "cluster-api"
+    description = (
+        "asyncio imports and repro.cluster.events internals are confined "
+        "to repro.cluster; other layers use the streaming HTTP API"
+    )
+    severity = Severity.ERROR
+    exempt_paths = ("*repro/cluster/*",)
+
+    def visit_Import(self, ctx: FileContext, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name.split(".")[0] == "asyncio":
+                ctx.report(
+                    self,
+                    node,
+                    "import of asyncio outside repro.cluster; the event "
+                    "loop lives in the cluster front end only",
+                )
+            elif alias.name == "repro.cluster.events":
+                ctx.report(
+                    self,
+                    node,
+                    "import of repro.cluster.events outside repro.cluster; "
+                    "consume events via the streaming HTTP API",
+                )
+
+    def visit_ImportFrom(self, ctx: FileContext, node: ast.ImportFrom) -> None:
+        if node.level != 0:
+            return
+        module = node.module or ""
+        if module.split(".")[0] == "asyncio":
+            ctx.report(
+                self,
+                node,
+                "import from asyncio outside repro.cluster; the event "
+                "loop lives in the cluster front end only",
+            )
+        elif module == "repro.cluster.events":
+            ctx.report(
+                self,
+                node,
+                "import from repro.cluster.events outside repro.cluster; "
+                "consume events via the streaming HTTP API",
             )
 
 

@@ -15,7 +15,10 @@ The pass:
 1. finds the *thread roots*: ``do_*`` methods on HTTP handler classes,
    every resolvable ``Thread(target=...)`` / ``Process(target=...)``
    argument (including targets picked from tuples, ``a or b``
-   fallbacks, and function-valued attributes), and ``worker_main``;
+   fallbacks, and function-valued attributes), ``worker_main``, and
+   ``asyncio.start_server(handler, ...)`` connection handlers (the
+   cluster front end's per-connection tasks race its collector
+   threads, so the event-bus state they share gets the same scrutiny);
 2. walks every function body recording shared-state accesses — ``self``
    attribute chains and typed locals resolve to per-class, per-field
    keys (``SchedulerMetrics.submitted``), mutable module globals to
@@ -366,6 +369,19 @@ def find_roots(graph: CallGraph) -> dict[str, str]:
                 continue
             dotted = _dotted_name(node.func)
             last = (dotted or "").rsplit(".", 1)[-1]
+            if last == "start_server":
+                # ``asyncio.start_server(handler, ...)``: the handler
+                # coroutine runs as a per-connection task on the event
+                # loop — a concurrent root exactly like a thread target
+                # (the loop thread races the collector/HTTP threads).
+                if node.args:
+                    for ref in _target_refs(graph, fn, node.args[0]):
+                        roots.setdefault(ref, "asyncio-handler")
+                for keyword in node.keywords:
+                    if keyword.arg == "client_connected_cb":
+                        for ref in _target_refs(graph, fn, keyword.value):
+                            roots.setdefault(ref, "asyncio-handler")
+                continue
             if last not in ("Thread", "Process"):
                 continue
             kind = "thread" if last == "Thread" else "worker-process"

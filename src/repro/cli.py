@@ -10,6 +10,8 @@ Examples::
     repro-gencache profile figure-9 --quick  # cProfile + phase-timing JSON
 
     repro-gencache serve --port 8350         # start the simulation service
+    repro-gencache cluster-serve --shards 3  # sharded cluster + streaming
+    repro-gencache loadgen --quick           # benchmark it -> BENCH_service
     repro-gencache submit figure-9 --quick   # run a job over HTTP
     repro-gencache status <job-id>           # poll one job
     repro-gencache fetch <job-id>            # print a finished table
@@ -39,7 +41,12 @@ from repro.experiments.runner import (
 from repro.experiments import sweep as sweep_module
 from repro.service.client import ServiceClient
 from repro.service.jobs import spec_from_dict
-from repro.service.http import DEFAULT_HOST, DEFAULT_PORT, make_server
+from repro.service.http import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    make_server,
+    serve_until_signal,
+)
 from repro.service.scheduler import (
     DEFAULT_RETRIES,
     DEFAULT_TIMEOUT,
@@ -436,12 +443,105 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             + (f", store {args.store})" if args.store else ", no store)"),
             flush=True,
         )
-        try:
-            server.serve_forever()
-        except KeyboardInterrupt:
-            print("shutting down", file=sys.stderr)
-        finally:
-            server.server_close()
+        signum = serve_until_signal(server, grace=args.grace)
+        print(
+            f"signal {signum}: drained in-flight jobs, shutting down",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_cluster_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the cluster layer (and asyncio) stays out of
+    # every other verb.
+    from repro.cluster import (
+        AdmissionController,
+        ClusterScheduler,
+        EventBus,
+        TieredResultStore,
+    )
+    from repro.cluster.http import ClusterServer
+    from repro.cluster.http import serve_until_signal as cluster_serve_until
+
+    disk = ResultStore(os.path.expanduser(args.store)) if args.store else None
+    retention_kwargs = (
+        {"completed_retention": args.retention}
+        if args.retention is not None
+        else {}
+    )
+    cluster = ClusterScheduler(
+        shards=args.shards,
+        workers_per_shard=args.workers_per_shard,
+        store=TieredResultStore(disk),
+        admission=AdmissionController(watermark=args.watermark, rate=args.rate),
+        bus=EventBus(),
+        timeout=args.timeout,
+        max_retries=args.retries,
+        **retention_kwargs,
+    )
+    cluster.start()
+    server = ClusterServer(cluster, host=args.host, port=args.port)
+    host, port = server.start()
+    print(
+        f"repro-gencache cluster listening on http://{host}:{port} "
+        f"({args.shards} shard(s) x {args.workers_per_shard} worker(s), "
+        f"watermark {args.watermark}"
+        + (f", store {args.store})" if args.store else ", memory store)"),
+        flush=True,
+    )
+    signum = cluster_serve_until(server, grace=args.grace)
+    print(
+        f"signal {signum}: drained in-flight jobs, shutting down",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.cluster import loadgen as loadgen_module
+
+    clients = args.clients
+    requests = args.requests
+    population = args.population
+    if args.quick:
+        clients = min(clients, 16)
+        requests = min(requests, 6)
+        population = min(population, 16)
+    if args.server:
+        document = loadgen_module.run_load(
+            args.server,
+            clients=clients,
+            requests=requests,
+            population=loadgen_module.build_population(
+                population, seed=args.seed, scale=args.scale
+            ),
+            tenants=args.tenants,
+            seed=args.seed,
+            rounds=args.rounds,
+        )
+    else:
+        document = loadgen_module.run_inprocess(
+            shards=args.shards,
+            workers_per_shard=args.workers_per_shard,
+            store_dir=(
+                os.path.expanduser(args.store) if args.store else None
+            ),
+            watermark=args.watermark,
+            rate=args.rate,
+            retention=args.retention,
+            clients=clients,
+            requests=requests,
+            population_size=population,
+            tenants=args.tenants,
+            seed=args.seed,
+            scale=args.scale,
+            rounds=args.rounds,
+        )
+    json_path, text_path = loadgen_module.write_bench(
+        document, os.path.expanduser(args.out)
+    )
+    print(loadgen_module.render_bench(document), end="")
+    print(f"reports: {json_path}, {text_path}", file=sys.stderr)
     return 0
 
 
@@ -752,6 +852,130 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=DEFAULT_RETRIES, metavar="N",
         help="extra attempts after a worker crash or timeout",
     )
+    serve_parser.add_argument(
+        "--grace", type=float, default=30.0, metavar="SECS",
+        help="drain window after SIGTERM/SIGINT before hard shutdown "
+        "(default: 30)",
+    )
+
+    cluster_parser = sub.add_parser(
+        "cluster-serve",
+        help="start the sharded cluster service (asyncio front end, "
+        "admission control, tiered result store)",
+    )
+    cluster_parser.add_argument("--host", default=DEFAULT_HOST)
+    cluster_parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    cluster_parser.add_argument(
+        "--shards", type=int, default=3, metavar="N",
+        help="shard scheduler count (default: 3)",
+    )
+    cluster_parser.add_argument(
+        "--workers-per-shard", type=int, default=1, metavar="N",
+        help="worker processes per shard (default: 1)",
+    )
+    cluster_parser.add_argument(
+        "--store", default=DEFAULT_STORE, metavar="DIR",
+        help=f"disk tier directory (default: {DEFAULT_STORE}; "
+        "pass '' for a memory-only hot tier)",
+    )
+    cluster_parser.add_argument(
+        "--watermark", type=int, default=256, metavar="N",
+        help="cluster-wide queue-depth shed watermark (default: 256)",
+    )
+    cluster_parser.add_argument(
+        "--rate", type=float, default=None, metavar="RPS",
+        help="global token-bucket admit rate (default: unlimited)",
+    )
+    cluster_parser.add_argument(
+        "--retention", type=int, default=None, metavar="N",
+        help="terminal job records kept per shard; older completions "
+        "are answered from the tiered store (default: 1024)",
+    )
+    cluster_parser.add_argument(
+        "--timeout", type=float, default=DEFAULT_TIMEOUT, metavar="SECS",
+        help="per-job wall-clock limit",
+    )
+    cluster_parser.add_argument(
+        "--retries", type=int, default=DEFAULT_RETRIES, metavar="N",
+        help="extra attempts after a worker crash or timeout",
+    )
+    cluster_parser.add_argument(
+        "--grace", type=float, default=30.0, metavar="SECS",
+        help="drain window after SIGTERM/SIGINT before hard shutdown "
+        "(default: 30)",
+    )
+
+    loadgen_parser = sub.add_parser(
+        "loadgen",
+        help="drive concurrent synthetic clients at a cluster and emit "
+        "BENCH_service.json",
+    )
+    loadgen_parser.add_argument(
+        "--server", default=None, metavar="URL",
+        help="drive an already-running service instead of an "
+        "in-process cluster",
+    )
+    loadgen_parser.add_argument(
+        "--clients", type=int, default=100, metavar="N",
+        help="concurrent client threads (default: 100)",
+    )
+    loadgen_parser.add_argument(
+        "--requests", type=int, default=20, metavar="N",
+        help="submissions per client (default: 20)",
+    )
+    loadgen_parser.add_argument(
+        "--population", type=int, default=64, metavar="N",
+        help="distinct job specs in the Zipf population (default: 64)",
+    )
+    loadgen_parser.add_argument(
+        "--tenants", type=int, default=4, metavar="N",
+        help="tenant identities clients rotate through (default: 4)",
+    )
+    loadgen_parser.add_argument(
+        "--shards", type=int, default=3, metavar="N",
+        help="in-process shard count (default: 3)",
+    )
+    loadgen_parser.add_argument(
+        "--workers-per-shard", type=int, default=1, metavar="N",
+        help="worker processes per in-process shard (default: 1)",
+    )
+    loadgen_parser.add_argument(
+        "--watermark", type=int, default=64, metavar="N",
+        help="in-process shed watermark (default: 64)",
+    )
+    loadgen_parser.add_argument(
+        "--rate", type=float, default=None, metavar="RPS",
+        help="in-process token-bucket admit rate (default: unlimited)",
+    )
+    loadgen_parser.add_argument(
+        "--rounds", type=int, default=2, metavar="N",
+        help="identical load bursts separated by a drain; later rounds "
+        "resubmit evicted jobs through the tiered store (default: 2)",
+    )
+    loadgen_parser.add_argument(
+        "--retention", type=int, default=4, metavar="N",
+        help="terminal job records each shard keeps in memory; small "
+        "values force repeat hits through the tiered store (default: 4)",
+    )
+    loadgen_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="disk tier directory for the in-process cluster "
+        "(default: temp dir)",
+    )
+    loadgen_parser.add_argument("--seed", type=int, default=42)
+    loadgen_parser.add_argument(
+        "--scale", type=float, default=512.0,
+        help="synthesis scale divisor for the job population "
+        "(default: 512)",
+    )
+    loadgen_parser.add_argument(
+        "--quick", action="store_true",
+        help="cap clients/requests/population at 16/6/16 (CI smoke mode)",
+    )
+    loadgen_parser.add_argument(
+        "--out", default=".", metavar="DIR",
+        help="directory for BENCH_service.json/.txt (default: .)",
+    )
 
     submit_parser = sub.add_parser(
         "submit", help="submit one experiment job over HTTP"
@@ -808,6 +1032,8 @@ def main(argv: list[str] | None = None) -> int:
         "calibrate": _cmd_calibrate,
         "fuzz": _cmd_fuzz,
         "serve": _cmd_serve,
+        "cluster-serve": _cmd_cluster_serve,
+        "loadgen": _cmd_loadgen,
         "submit": _cmd_submit,
         "status": _cmd_status,
         "fetch": _cmd_fetch,

@@ -1,0 +1,150 @@
+"""Thread→asyncio bridge for job lifecycle events.
+
+Shard completions are discovered on plain threads (each shard's cluster
+collector thread, fed by the shard scheduler's listener hook), while
+streaming subscribers live on the asyncio event loop of the cluster
+front end.  :class:`EventBus` is the one crossing point:
+
+* **Publish side (threads).**  :meth:`EventBus.publish` is callable from
+  any thread; it hops onto the loop with
+  ``loop.call_soon_threadsafe`` and fans the event out to every
+  subscriber queue.  Publishing before the loop is attached (or after
+  close) buffers into a bounded replay deque instead of dropping.
+* **Subscribe side (asyncio).**  :meth:`EventBus.subscribe` returns an
+  unbounded per-subscriber :class:`asyncio.Queue` primed with the
+  replayed tail for the watched job id, so a subscriber that connects
+  just after its job finished still sees the terminal event — the race
+  that makes naive pub/sub long-polls hang forever.
+
+Events are plain dicts ``{"job_id", "state", "cached", "seq"}`` with a
+bus-global monotonic sequence number, so subscribers can de-duplicate
+replayed events against live ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import threading
+
+#: How many recent events the bus retains for late subscribers.
+REPLAY_DEPTH = 4096
+
+#: Sentinel pushed into subscriber queues when the bus closes.
+CLOSED = {"event": "closed"}
+
+
+class EventBus:
+    """Fan-out of job events from worker threads to asyncio consumers.
+
+    Args:
+        replay_depth: How many recent events to retain for subscribers
+            that attach after their event fired.
+    """
+
+    def __init__(self, replay_depth: int = REPLAY_DEPTH) -> None:
+        self._loop: asyncio.AbstractEventLoop | None = None
+        # Guards _replay/_seq/_closed, which the publish side touches
+        # from arbitrary threads; _subscribers is loop-only.
+        self._lock = threading.Lock()
+        self._replay: collections.deque[dict] = collections.deque(
+            maxlen=replay_depth
+        )
+        self._seq = 0
+        self._closed = False
+        # job_id -> list of subscriber queues; "" subscribes to all.
+        self._subscribers: dict[str, list[asyncio.Queue]] = {}
+
+    def attach(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Bind the bus to the consumer loop (done once at startup)."""
+        with self._lock:
+            self._loop = loop
+
+    # ------------------------------------------------------------------
+    # Publish side — any thread
+    # ------------------------------------------------------------------
+
+    def publish(self, job_id: str, state: str, cached: bool) -> None:
+        """Record and fan out one job transition (thread-safe)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._seq += 1
+            event = {
+                "job_id": job_id,
+                "state": state,
+                "cached": cached,
+                "seq": self._seq,
+            }
+            self._replay.append(event)
+            loop = self._loop
+        if loop is not None:
+            try:
+                loop.call_soon_threadsafe(self._deliver, event)
+            except RuntimeError:
+                # Loop already closed mid-shutdown; the event is in the
+                # replay buffer for any post-mortem inspection.
+                return
+
+    def close(self) -> None:
+        """Stop accepting events and wake every subscriber with the
+        CLOSED sentinel (thread-safe)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            loop = self._loop
+        if loop is not None:
+            try:
+                loop.call_soon_threadsafe(self._deliver_closed)
+            except RuntimeError:
+                return
+
+    # ------------------------------------------------------------------
+    # Deliver side — loop thread only
+    # ------------------------------------------------------------------
+
+    def _deliver(self, event: dict) -> None:
+        targets = self._subscribers.get(event["job_id"], [])
+        broadcast = self._subscribers.get("", [])
+        for queue in [*targets, *broadcast]:
+            queue.put_nowait(event)
+
+    def _deliver_closed(self) -> None:
+        for queues in self._subscribers.values():
+            for queue in queues:
+                queue.put_nowait(CLOSED)
+
+    # ------------------------------------------------------------------
+    # Subscribe side — loop thread only
+    # ------------------------------------------------------------------
+
+    def subscribe(self, job_id: str = "") -> asyncio.Queue:
+        """A queue of events for *job_id* ("" for every job), primed
+        with the matching replay tail."""
+        queue: asyncio.Queue = asyncio.Queue()
+        with self._lock:
+            replayed = [
+                event
+                for event in self._replay
+                if not job_id or event["job_id"] == job_id
+            ]
+            closed = self._closed
+        for event in replayed:
+            queue.put_nowait(event)
+        if closed:
+            queue.put_nowait(CLOSED)
+        self._subscribers.setdefault(job_id, []).append(queue)
+        return queue
+
+    def unsubscribe(self, job_id: str, queue: asyncio.Queue) -> None:
+        """Detach *queue*; safe to call after close."""
+        queues = self._subscribers.get(job_id)
+        if queues is None:
+            return
+        try:
+            queues.remove(queue)
+        except ValueError:
+            pass  # already removed — unsubscribing twice is fine
+        if not queues:
+            del self._subscribers[job_id]

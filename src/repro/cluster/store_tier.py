@@ -1,0 +1,195 @@
+"""A generational in-memory hot tier over the disk result store.
+
+The paper's cache hierarchy — a cheap nursery in front of a probation
+generation in front of durable persistent storage — applied to our own
+result cache (dogfooding the generational insight):
+
+* **Nursery.**  Every payload that enters the hot tier (a fresh ``put``
+  or a disk-read fill) starts in a small LRU nursery.  One-hit wonders
+  die here cheaply: nursery eviction just drops the in-memory copy,
+  because every payload is already written through to disk.
+* **Probation.**  A nursery entry that proves itself — its *second* hit,
+  the same promotion-threshold discipline as the simulator's
+  generational manager — is promoted to the probation tier, which holds
+  the cluster's working set.  Probation evicts LRU back to disk-only.
+* **Persistent.**  The wrapped checksummed disk
+  :class:`~repro.service.store.ResultStore` (optional; a pure-memory
+  tiered store works too, it just loses durability).
+
+All operations are thread-safe: shard collector threads ``put`` while
+HTTP submissions ``get`` concurrently.  Per-tier hit/miss/promotion/
+eviction counters feed the cluster's ``/metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+
+from repro.errors import ConfigError
+from repro.service.store import ResultStoreBase
+
+#: Hits in the nursery (including the insertion "hit" of a put/fill)
+#: needed before an entry is promoted to probation.
+PROMOTION_THRESHOLD = 2
+
+#: Default per-tier entry capacities.
+DEFAULT_NURSERY = 128
+DEFAULT_PROBATION = 512
+
+
+class TieredResultStore(ResultStoreBase):
+    """Nursery/probation hot tiers layered over a disk store.
+
+    Args:
+        disk: The durable tier; None for a memory-only store.
+        nursery_capacity: Max nursery entries before LRU drop.
+        probation_capacity: Max probation entries before LRU demotion
+            to disk-only.
+    """
+
+    def __init__(
+        self,
+        disk: ResultStoreBase | None = None,
+        nursery_capacity: int = DEFAULT_NURSERY,
+        probation_capacity: int = DEFAULT_PROBATION,
+    ) -> None:
+        if nursery_capacity < 1:
+            raise ConfigError(
+                f"nursery capacity must be >= 1, got {nursery_capacity}"
+            )
+        if probation_capacity < 1:
+            raise ConfigError(
+                f"probation capacity must be >= 1, got {probation_capacity}"
+            )
+        self.disk = disk
+        self.nursery_capacity = nursery_capacity
+        self.probation_capacity = probation_capacity
+        self._lock = threading.Lock()
+        # job_id -> (payload, hits) in LRU order (MRU at the right).
+        self._nursery: collections.OrderedDict[str, tuple[dict, int]] = (
+            collections.OrderedDict()
+        )
+        self._probation: collections.OrderedDict[str, dict] = (
+            collections.OrderedDict()
+        )
+        self._counters = {
+            "nursery_hits": 0,
+            "nursery_misses": 0,
+            "nursery_insertions": 0,
+            "nursery_evictions": 0,
+            "probation_hits": 0,
+            "probation_evictions": 0,
+            "promotions": 0,
+            "disk_hits": 0,
+            "disk_misses": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # ResultStoreBase interface
+    # ------------------------------------------------------------------
+
+    def get(self, job_id: str) -> dict | None:
+        """Probation, then nursery (promoting on the second hit), then
+        disk (filling the nursery on a disk hit)."""
+        with self._lock:
+            payload = self._probation.get(job_id)
+            if payload is not None:
+                self._probation.move_to_end(job_id)
+                self._counters["probation_hits"] += 1
+                return payload
+            entry = self._nursery.get(job_id)
+            if entry is not None:
+                payload, hits = entry
+                hits += 1
+                self._counters["nursery_hits"] += 1
+                if hits >= PROMOTION_THRESHOLD:
+                    del self._nursery[job_id]
+                    self._promote(job_id, payload)
+                else:
+                    self._nursery[job_id] = (payload, hits)
+                    self._nursery.move_to_end(job_id)
+                return payload
+            self._counters["nursery_misses"] += 1
+        # Disk reads happen outside the lock (they hit the filesystem);
+        # a racing fill of the same id is harmless last-writer-wins.
+        if self.disk is None:
+            return None
+        payload = self.disk.get(job_id)
+        with self._lock:
+            if payload is None:
+                self._counters["disk_misses"] += 1
+                return None
+            self._counters["disk_hits"] += 1
+            if job_id not in self._probation:
+                self._insert_nursery(job_id, payload)
+            return payload
+
+    def put(self, job_id: str, payload: dict) -> None:
+        """Write through to disk, then seed the nursery.
+
+        Durability first: the disk write happens before the hot-tier
+        insert, so an entry is only ever evictable from memory when the
+        persistent tier already has it.  Disk ``OSError`` propagates
+        (the scheduler counts it) and skips the hot-tier insert.
+        """
+        if self.disk is not None:
+            self.disk.put(job_id, payload)
+        with self._lock:
+            if job_id in self._probation:
+                self._probation[job_id] = payload
+                self._probation.move_to_end(job_id)
+                return
+            self._insert_nursery(job_id, payload)
+
+    def discard(self, job_id: str) -> None:
+        """Drop *job_id* from every tier."""
+        with self._lock:
+            self._nursery.pop(job_id, None)
+            self._probation.pop(job_id, None)
+        if self.disk is not None:
+            self.disk.discard(job_id)
+
+    # ------------------------------------------------------------------
+    # Tier mechanics (caller holds the lock)
+    # ------------------------------------------------------------------
+
+    def _insert_nursery(self, job_id: str, payload: dict) -> None:
+        if job_id in self._nursery:
+            hits = self._nursery[job_id][1]
+            self._nursery[job_id] = (payload, hits)
+            self._nursery.move_to_end(job_id)
+            return
+        self._nursery[job_id] = (payload, 1)
+        self._counters["nursery_insertions"] += 1
+        while len(self._nursery) > self.nursery_capacity:
+            self._nursery.popitem(last=False)
+            self._counters["nursery_evictions"] += 1
+
+    def _promote(self, job_id: str, payload: dict) -> None:
+        self._probation[job_id] = payload
+        self._counters["promotions"] += 1
+        while len(self._probation) > self.probation_capacity:
+            self._probation.popitem(last=False)
+            self._counters["probation_evictions"] += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def counters(self) -> dict:
+        """Per-tier counters plus current occupancy and hit rate (what
+        the cluster ``/metrics`` ``store`` block exposes)."""
+        with self._lock:
+            hot_hits = (
+                self._counters["nursery_hits"]
+                + self._counters["probation_hits"]
+            )
+            lookups = hot_hits + self._counters["nursery_misses"]
+            return {
+                **self._counters,
+                "nursery_size": len(self._nursery),
+                "probation_size": len(self._probation),
+                "hot_hits": hot_hits,
+                "hot_hit_rate": hot_hits / lookups if lookups else 0.0,
+            }

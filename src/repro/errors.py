@@ -91,6 +91,37 @@ class JobNotFoundError(ServiceError):
     """A job id was requested that the scheduler has never seen."""
 
 
+class DrainingError(ServiceError):
+    """A submission was rejected because the scheduler (or shard) is
+    draining: it finishes in-flight work but admits nothing new."""
+
+
+class ShardError(ServiceError):
+    """The cluster could not place a job on any shard (every shard is
+    drained or dead, or an unknown shard name was referenced)."""
+
+
+class OverloadedError(ServiceError):
+    """Admission control shed the request (HTTP 429).
+
+    Attributes:
+        retry_after: Seconds the caller should wait before retrying —
+            what the ``Retry-After`` response header carries.
+        reason: Which admission gate shed the request (``"rate"``,
+            ``"queue"``, or ``"fair-share"``), when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after: float = 1.0,
+        reason: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.reason = reason
+
+
 class InvariantViolation(ReproError, AssertionError):
     """A simulation invariant did not hold.
 

@@ -22,6 +22,8 @@ job is 409, and a full admission queue is 503 (back off and retry).
 from __future__ import annotations
 
 import json
+import signal
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import (
@@ -160,3 +162,43 @@ def make_server(
     """Bind a server (``port=0`` picks a free port; see
     ``server.server_address``).  Call ``serve_forever()`` to run."""
     return ServiceServer((host, port), scheduler)
+
+
+def serve_until_signal(server: ServiceServer, grace: float = 30.0) -> int:
+    """Serve until SIGTERM/SIGINT, then drain gracefully.
+
+    On the first signal the scheduler stops admitting (new submissions
+    get 503) while the server keeps answering status/result queries, so
+    every *accepted* job finishes — up to *grace* seconds — before the
+    listener closes.  ``serve_forever`` runs on a helper thread because
+    ``HTTPServer.shutdown`` deadlocks when called from the serving
+    thread itself.
+
+    Returns the signal number received.  Must run on the main thread
+    (signal handlers can only be installed there).
+    """
+    stop = threading.Event()
+    received = {"signum": 0}
+
+    def _handle(signum, frame) -> None:
+        received["signum"] = signum
+        stop.set()
+
+    previous = {
+        signum: signal.signal(signum, _handle)
+        for signum in (signal.SIGTERM, signal.SIGINT)
+    }
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-service-http", daemon=True
+    )
+    thread.start()
+    try:
+        stop.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.scheduler.drain(timeout=grace)
+        server.shutdown()
+        thread.join(timeout=grace)
+        server.server_close()
+    return received["signum"]

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 from repro.errors import (
     ConfigError,
+    DrainingError,
     JobNotFoundError,
     JobQueueFullError,
     ServiceError,
@@ -41,7 +42,7 @@ from repro.errors import (
 from repro.fastpath import FASTPATH_TOTALS
 from repro.service import workers as workers_module
 from repro.service.jobs import JobSpec, job_id as compute_job_id
-from repro.service.store import ResultStore
+from repro.service.store import ResultStoreBase
 
 #: Per-job wall-clock budget; full-scale figure jobs run minutes.
 DEFAULT_TIMEOUT = 900.0
@@ -131,6 +132,12 @@ class Scheduler:
         max_retries: Extra attempts after a crash/timeout.
         backoff_base: First retry delay (doubles per attempt).
         queue_size: Bounded-admission limit for waiting jobs.
+        completed_retention: Keep at most this many terminal job
+            records in memory; older ones are evicted from the job
+            table (their payloads live in the store, so a resubmission
+            becomes a store hit).  None (the default) retains
+            everything — the long-running cluster shards set a bound so
+            the job table cannot grow without limit.
         mp_context: ``multiprocessing`` start method; defaults to fork
             where available (fast) and spawn elsewhere.
         worker_target: Worker entry point, injectable for tests.
@@ -139,11 +146,12 @@ class Scheduler:
     def __init__(
         self,
         workers: int = 2,
-        store: ResultStore | None = None,
+        store: ResultStoreBase | None = None,
         timeout: float = DEFAULT_TIMEOUT,
         max_retries: int = DEFAULT_RETRIES,
         backoff_base: float = DEFAULT_BACKOFF,
         queue_size: int = DEFAULT_QUEUE_SIZE,
+        completed_retention: int | None = None,
         mp_context: str | None = None,
         worker_target=None,
     ) -> None:
@@ -155,6 +163,10 @@ class Scheduler:
             raise ConfigError(f"max_retries must be >= 0, got {max_retries}")
         if queue_size < 1:
             raise ConfigError(f"queue size must be >= 1, got {queue_size}")
+        if completed_retention is not None and completed_retention < 1:
+            raise ConfigError(
+                f"completed_retention must be >= 1, got {completed_retention}"
+            )
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
             mp_context = "fork" if "fork" in methods else "spawn"
@@ -164,6 +176,7 @@ class Scheduler:
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.queue_size = queue_size
+        self.completed_retention = completed_retention
         self.metrics = SchedulerMetrics()
         self._ctx = multiprocessing.get_context(mp_context)
         self._worker_target = worker_target or workers_module.worker_main
@@ -178,6 +191,15 @@ class Scheduler:
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._started = False
+        self._accepting = True
+        # Terminal-transition listeners (the cluster's event bridge):
+        # transitions queue under the lock and are delivered outside it.
+        self._listeners: list = []
+        self._notifications: collections.deque[tuple[str, str, bool]] = (
+            collections.deque()
+        )
+        # Terminal records in completion order, for bounded retention.
+        self._terminal_order: collections.deque[str] = collections.deque()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -219,6 +241,89 @@ class Scheduler:
                 slot.process.terminate()
                 slot.process.join(timeout=1.0)
 
+    def drain(self, timeout: float | None = None, poll: float = 0.05) -> bool:
+        """Stop admitting new jobs and wait for in-flight ones.
+
+        After this returns (True when everything reached a terminal
+        state before *timeout*), :meth:`submit` raises
+        :class:`~repro.errors.DrainingError`; the pool itself keeps
+        running so completed results stay queryable until
+        :meth:`shutdown`.  Graceful shutdown (``serve`` under SIGTERM)
+        and cluster shard drains both go through here.
+        """
+        self.pause_admission()
+        drained = self.wait(timeout=timeout, poll=poll)
+        self._flush_notifications()
+        return drained
+
+    def pause_admission(self) -> None:
+        """Make :meth:`submit` raise DrainingError until resumed."""
+        with self._lock:
+            self._accepting = False
+
+    def resume_admission(self) -> None:
+        """Re-open :meth:`submit` after a drain (shard restore)."""
+        with self._lock:
+            self._accepting = True
+
+    @property
+    def accepting(self) -> bool:
+        """Whether :meth:`submit` currently admits new jobs."""
+        with self._lock:
+            return self._accepting
+
+    def add_listener(self, listener) -> None:
+        """Register ``listener(job_id, state, cached)`` for terminal
+        transitions (DONE/FAILED, including instant store hits).
+
+        Listeners run on the scheduler's own bookkeeping threads (or
+        the submitting thread for cache hits), always *outside* the
+        scheduler lock, so they may call back into ``status``/
+        ``result`` freely but must be quick and must not raise.
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    def _queue_notify(self, record: JobRecord) -> None:
+        """Queue a terminal transition for delivery.  Caller holds the
+        lock; delivery happens later via :meth:`_flush_notifications`."""
+        if self._listeners:
+            self._notifications.append(
+                (record.job_id, record.state, record.cached)
+            )
+
+    def _note_terminal(self, record: JobRecord) -> None:
+        """Bookkeeping for a record entering a terminal state: queue
+        listener delivery, then enforce the completed-record retention
+        bound.  Caller holds the lock."""
+        self._queue_notify(record)
+        if self.completed_retention is None:
+            return
+        self._terminal_order.append(record.job_id)
+        while len(self._terminal_order) > self.completed_retention:
+            jid = self._terminal_order.popleft()
+            old = self._jobs.get(jid)
+            # A content-identical resubmission of a failed job replaces
+            # its record with a live one; never evict those.
+            if old is not None and old.state in TERMINAL_STATES:
+                del self._jobs[jid]
+
+    def _flush_notifications(self) -> None:
+        """Deliver queued terminal transitions outside the lock."""
+        while True:
+            with self._lock:
+                if not self._notifications:
+                    return
+                job_id, state, cached = self._notifications.popleft()
+                listeners = list(self._listeners)
+            for listener in listeners:
+                try:
+                    listener(job_id, state, cached)
+                except Exception:  # noqa: BLE001 — a listener bug must
+                    # not take down dispatch; the transition is still
+                    # visible through status().
+                    continue
+
     def __enter__(self) -> "Scheduler":
         return self.start()
 
@@ -250,13 +355,19 @@ class Scheduler:
 
         Raises:
             ConfigError: for an invalid spec.
+            DrainingError: when the scheduler is draining.
             JobQueueFullError: when the admission queue is full.
         """
         if not self._started:
             raise ServiceError("scheduler is not started")
         spec.validate()
         jid = compute_job_id(spec)
+        hit = False
         with self._lock:
+            if not self._accepting:
+                raise DrainingError(
+                    "scheduler is draining; not accepting new jobs"
+                )
             existing = self._jobs.get(jid)
             if existing is not None and existing.state != FAILED:
                 return existing
@@ -276,16 +387,21 @@ class Scheduler:
                         finished_at=now,
                     )
                     self._jobs[jid] = record
-                    return record
-            if len(self._pending) >= self.queue_size:
-                self.metrics.submitted -= 1
-                raise JobQueueFullError(
-                    f"admission queue is full ({self.queue_size} jobs waiting)"
-                )
-            record = JobRecord(job_id=jid, spec=spec, submitted_at=now)
-            self._jobs[jid] = record
-            self._pending.append(jid)
-            return record
+                    self._note_terminal(record)
+                    hit = True
+            if not hit:
+                if len(self._pending) >= self.queue_size:
+                    self.metrics.submitted -= 1
+                    raise JobQueueFullError(
+                        f"admission queue is full ({self.queue_size} jobs "
+                        "waiting)"
+                    )
+                record = JobRecord(job_id=jid, spec=spec, submitted_at=now)
+                self._jobs[jid] = record
+                self._pending.append(jid)
+        if hit:
+            self._flush_notifications()
+        return record
 
     def status(self, job_id: str) -> JobRecord:
         """The record for *job_id*.
@@ -306,7 +422,16 @@ class Scheduler:
         Raises:
             JobNotFoundError: for an unknown id.
         """
-        record = self.status(job_id)
+        return self.record_dict(self.status(job_id))
+
+    def record_dict(self, record: JobRecord) -> dict:
+        """JSON snapshot of *record* under the lock.
+
+        Unlike :meth:`status_dict` this needs no table lookup, so it
+        stays valid for a record that ``completed_retention`` has
+        already evicted (a submit response races its own eviction when
+        retention is tiny and jobs are fast).
+        """
         with self._lock:
             return record.to_dict()
 
@@ -390,6 +515,7 @@ class Scheduler:
             submitted = self.metrics.submitted
             busy = sum(1 for slot in self._slots if slot.job_id is not None)
             return {
+                "accepting": self._accepting,
                 "queue_depth": depth,
                 "jobs_running": running,
                 "jobs_submitted": submitted,
@@ -427,6 +553,7 @@ class Scheduler:
                     continue
                 drained = True
                 self._handle_event(slot_index, event)
+            self._flush_notifications()
             if not drained:
                 time.sleep(0.01)
 
@@ -444,6 +571,7 @@ class Scheduler:
                 record.payload = event[2]
                 record.state = DONE
                 self.metrics.completed += 1
+                self._note_terminal(record)
                 # Workers append their FASTPATH_TOTALS delta as a
                 # fourth element (older/injected worker targets may
                 # still send three-tuples).
@@ -471,6 +599,7 @@ class Scheduler:
         if message.startswith("ConfigError:"):
             record.state = FAILED
             self.metrics.failed += 1
+            self._note_terminal(record)
             return
         if record.attempts <= self.max_retries:
             record.state = QUEUED
@@ -480,6 +609,7 @@ class Scheduler:
         else:
             record.state = FAILED
             self.metrics.failed += 1
+            self._note_terminal(record)
 
     def _monitor_loop(self) -> None:
         """Dispatch pending jobs, enforce timeouts, heal the pool."""
@@ -490,6 +620,7 @@ class Scheduler:
                 self._dispatch_pending(now)
                 self._enforce_timeouts(now)
                 self._heal_crashed_workers()
+            self._flush_notifications()
             time.sleep(0.02)
 
     def _requeue_due_retries(self, now: float) -> None:
@@ -586,7 +717,7 @@ class Scheduler:
 def run_jobs(
     specs: list[JobSpec],
     workers: int = 2,
-    store: ResultStore | None = None,
+    store: ResultStoreBase | None = None,
     timeout: float = DEFAULT_TIMEOUT,
     raise_on_failure: bool = True,
     **scheduler_kwargs,

@@ -20,6 +20,7 @@ Durability model:
 
 from __future__ import annotations
 
+import abc
 import hashlib
 import json
 import os
@@ -36,7 +37,38 @@ def _payload_checksum(payload: dict) -> str:
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
-class ResultStore:
+class ResultStoreBase(abc.ABC):
+    """What the scheduler needs from a result store.
+
+    The scheduler memoizes through this interface only — ``get`` on
+    submission, ``put`` on completion, ``discard`` on corruption — so
+    alternative stores (e.g. the cluster's
+    :class:`repro.cluster.store_tier.TieredResultStore`, which layers a
+    generational in-memory hot tier over this package's disk store) can
+    be attached without the scheduler knowing.
+
+    Contract: ``get`` never raises on absence or corruption (both are
+    misses returning None); ``put`` may raise :class:`OSError`, which
+    the scheduler counts as a ``store_error`` and tolerates.
+    """
+
+    @abc.abstractmethod
+    def get(self, job_id: str) -> dict | None:
+        """The stored payload, or None when absent or corrupt."""
+
+    @abc.abstractmethod
+    def put(self, job_id: str, payload: dict) -> object:
+        """Persist *payload* under *job_id*."""
+
+    @abc.abstractmethod
+    def discard(self, job_id: str) -> None:
+        """Delete *job_id*'s entry if present (missing is fine)."""
+
+    def __contains__(self, job_id: str) -> bool:
+        return self.get(job_id) is not None
+
+
+class ResultStore(ResultStoreBase):
     """A directory of memoized job payloads.
 
     Args:

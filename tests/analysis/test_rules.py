@@ -307,6 +307,57 @@ class TestNoRawConcurrency:
         src = "import threading  # cachelint: disable=no-raw-concurrency\n"
         assert hits(src, "no-raw-concurrency") == []
 
+    def test_cluster_package_is_exempt(self):
+        assert (
+            hits(
+                "import asyncio\nimport threading\n",
+                "no-raw-concurrency",
+                path="src/repro/cluster/http.py",
+            )
+            == []
+        )
+
+
+class TestClusterApi:
+    def test_asyncio_import_flagged_outside_cluster(self):
+        assert hits("import asyncio\n", "cluster-api") == ["cluster-api"]
+
+    def test_asyncio_from_import_flagged(self):
+        src = "from asyncio import StreamReader\n"
+        assert hits(src, "cluster-api") == ["cluster-api"]
+
+    def test_asyncio_flagged_even_in_service_layer(self):
+        # no-raw-concurrency admits asyncio in repro.service; this rule
+        # tightens that to the cluster front end only.
+        assert hits(
+            "import asyncio\n",
+            "cluster-api",
+            path="src/repro/service/http.py",
+        ) == ["cluster-api"]
+
+    def test_event_bus_import_flagged_outside_cluster(self):
+        src = "from repro.cluster.events import EventBus\n"
+        assert hits(src, "cluster-api") == ["cluster-api"]
+
+    def test_event_bus_module_import_flagged(self):
+        assert hits("import repro.cluster.events\n", "cluster-api") == [
+            "cluster-api"
+        ]
+
+    def test_cluster_package_is_exempt(self):
+        src = "import asyncio\nfrom repro.cluster.events import EventBus\n"
+        assert (
+            hits(src, "cluster-api", path="src/repro/cluster/http.py") == []
+        )
+
+    def test_other_cluster_imports_are_fine(self):
+        src = "from repro.cluster.shards import ClusterScheduler\n"
+        assert hits(src, "cluster-api") == []
+
+    def test_suppressed(self):
+        src = "import asyncio  # cachelint: disable=cluster-api\n"
+        assert hits(src, "cluster-api") == []
+
 
 class TestSharedCacheApi:
     def test_module_import_flagged(self):

@@ -163,6 +163,51 @@ class TestRootDiscovery:
         roots = find_roots(Program.from_paths([pkg]).graph)
         assert roots.get("pkg.web.Handler.do_GET") == "http-handler"
 
+    def test_asyncio_start_server_handler_is_a_root(self, tmp_path):
+        pkg = write_pkg(
+            tmp_path,
+            {
+                "srv.py": (
+                    "import asyncio\n"
+                    "class Server:\n"
+                    "    async def _open(self):\n"
+                    "        await asyncio.start_server(\n"
+                    "            self._handle, '127.0.0.1', 0)\n"
+                    "    async def _handle(self, reader, writer):\n"
+                    "        return None\n"
+                    "async def boot(handler):\n"
+                    "    await asyncio.start_server(\n"
+                    "        client_connected_cb=on_conn, host='::1')\n"
+                    "async def on_conn(reader, writer):\n"
+                    "    return None\n"
+                ),
+            },
+        )
+        roots = find_roots(Program.from_paths([pkg]).graph)
+        assert roots.get("pkg.srv.Server._handle") == "asyncio-handler"
+        assert roots.get("pkg.srv.on_conn") == "asyncio-handler"
+
+    def test_asyncio_handler_racing_a_thread_is_flagged(self, tmp_path):
+        violations = check(
+            tmp_path,
+            {
+                "srv.py": (
+                    "import asyncio\n"
+                    "import threading\n"
+                    "STATE = {}\n"
+                    "async def handle(reader, writer):\n"
+                    "    return STATE.get('value')\n"
+                    "def loop():\n"
+                    "    STATE['value'] = 1\n"
+                    "def run():\n"
+                    "    threading.Thread(target=loop).start()\n"
+                    "    asyncio.start_server(handle, '::1', 0)\n"
+                ),
+            },
+        )
+        (violation,) = violations
+        assert "'pkg.srv.STATE'" in violation.message
+
     def test_http_handler_racing_a_thread_is_flagged(self, tmp_path):
         violations = check(
             tmp_path,

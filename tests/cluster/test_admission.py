@@ -1,0 +1,163 @@
+"""Admission-control gate tests (watermark, token bucket, fair share).
+
+Every clock-bearing call takes an explicit ``now``, so the token-bucket
+timing is tested deterministically with no sleeping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.admission import (
+    AdmissionController,
+    TokenBucket,
+)
+from repro.errors import ConfigError
+
+
+class TestTokenBucket:
+    def test_burst_then_deficit(self):
+        bucket = TokenBucket(rate=10.0, burst=2)
+        assert bucket.consume(0.0) == (True, 0.0)
+        assert bucket.consume(0.0) == (True, 0.0)
+        ok, wait = bucket.consume(0.0)
+        assert not ok
+        assert wait == pytest.approx(0.1)
+
+    def test_refill_over_time(self):
+        bucket = TokenBucket(rate=10.0, burst=1)
+        assert bucket.consume(0.0)[0]
+        assert not bucket.consume(0.0)[0]
+        assert bucket.consume(0.2)[0]  # 2 tokens accrued, capped at 1
+
+    def test_never_exceeds_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=1)
+        assert bucket.consume(0.0)[0]
+        # A long idle stretch still refills to at most `burst`.
+        assert bucket.consume(100.0)[0]
+        assert not bucket.consume(100.0)[0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="rate"):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ConfigError, match="burst"):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestWatermark:
+    def test_sheds_above_watermark(self):
+        control = AdmissionController(watermark=4)
+        decision = control.admit("a", queue_depth=4)
+        assert not decision.accepted
+        assert decision.reason == "queue"
+        assert decision.retry_after > 0
+
+    def test_admits_below_watermark(self):
+        control = AdmissionController(watermark=4)
+        decision = control.admit("a", queue_depth=3)
+        assert decision.accepted
+        assert decision.reason is None
+        assert decision.retry_after == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="watermark"):
+            AdmissionController(watermark=0)
+        with pytest.raises(ConfigError, match="weight"):
+            AdmissionController(weights={"a": 0.0})
+        with pytest.raises(ConfigError, match="weight"):
+            AdmissionController(default_weight=-1.0)
+
+
+class TestRateGate:
+    def test_rate_shed_reports_token_deficit(self):
+        control = AdmissionController(watermark=100, rate=10.0, burst=1)
+        assert control.admit("a", queue_depth=0, now=0.0).accepted
+        decision = control.admit("a", queue_depth=0, now=0.0)
+        assert not decision.accepted
+        assert decision.reason == "rate"
+        assert decision.retry_after == pytest.approx(0.1)
+
+    def test_rate_recovers(self):
+        control = AdmissionController(watermark=100, rate=10.0, burst=1)
+        assert control.admit("a", queue_depth=0, now=0.0).accepted
+        assert control.admit("a", queue_depth=0, now=0.5).accepted
+
+
+class TestFairShare:
+    def test_greedy_tenant_shed_under_contention(self):
+        # watermark 8 -> contention threshold 4, so once 4 submissions
+        # are in flight a lone tenant's share is the full watermark but
+        # a second active tenant halves it.
+        control = AdmissionController(watermark=8)
+        for _ in range(6):
+            assert control.admit("greedy", queue_depth=0).accepted
+        # greedy alone: active weight 1, share 8 -> still admitted.
+        assert control.admit("light", queue_depth=0).accepted
+        # Now two active tenants: greedy's share is ceil(8 * 1/2) = 4,
+        # and it already holds 6 -> shed.
+        decision = control.admit("greedy", queue_depth=0)
+        assert not decision.accepted
+        assert decision.reason == "fair-share"
+        # The light tenant is still within its share.
+        assert control.admit("light", queue_depth=0).accepted
+
+    def test_no_fairness_below_contention(self):
+        control = AdmissionController(watermark=100)
+        # 49 in flight < contention threshold 50: borrow freely.
+        for _ in range(49):
+            assert control.admit("greedy", queue_depth=0).accepted
+
+    def test_release_restores_share(self):
+        control = AdmissionController(watermark=8)
+        for _ in range(6):
+            assert control.admit("greedy", queue_depth=0).accepted
+        assert control.admit("light", queue_depth=0).accepted
+        assert not control.admit("greedy", queue_depth=0).accepted
+        for _ in range(3):
+            control.release("greedy")
+        assert control.admit("greedy", queue_depth=0).accepted
+
+    def test_weighted_share(self):
+        control = AdmissionController(
+            watermark=8, weights={"heavy": 3.0, "light": 1.0}
+        )
+        for _ in range(4):
+            assert control.admit("heavy", queue_depth=0).accepted
+        assert control.admit("light", queue_depth=0).accepted
+        # heavy's share is ceil(8 * 3/4) = 6: two more fit.
+        assert control.admit("heavy", queue_depth=0).accepted
+        assert control.admit("heavy", queue_depth=0).accepted
+        assert not control.admit("heavy", queue_depth=0).accepted
+        # light's share is ceil(8 * 1/4) = 2: one more fits.
+        assert control.admit("light", queue_depth=0).accepted
+        assert not control.admit("light", queue_depth=0).accepted
+
+
+class TestAccounting:
+    def test_release_never_underflows(self):
+        control = AdmissionController(watermark=4)
+        control.release("ghost")
+        counters = control.counters()
+        assert counters["tenants"]["ghost"]["inflight"] == 0
+
+    def test_counters_shape(self):
+        control = AdmissionController(watermark=4)
+        assert control.admit("a", queue_depth=0).accepted
+        assert not control.admit("a", queue_depth=9).accepted
+        counters = control.counters()
+        assert counters["accepted"] == 1
+        assert counters["shed"] == 1
+        assert counters["shed_rate"] == pytest.approx(0.5)
+        assert counters["shed_by_reason"] == {
+            "queue": 1,
+            "rate": 0,
+            "fair-share": 0,
+        }
+        assert counters["watermark"] == 4
+        tenant = counters["tenants"]["a"]
+        assert tenant == {
+            "weight": 1.0,
+            "inflight": 1,
+            "accepted": 1,
+            "shed": 1,
+        }

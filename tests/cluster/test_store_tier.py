@@ -1,0 +1,148 @@
+"""Generational tiered result store tests (nursery/probation/disk)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.store_tier import TieredResultStore
+from repro.errors import ConfigError
+from repro.service.store import ResultStore
+
+
+def _jid(n: int) -> str:
+    return "j" + format(n, "031x")
+
+
+PAYLOAD = {"kind": "experiment", "result": {"value": 1}}
+
+
+class TestValidation:
+    def test_capacities_must_be_positive(self):
+        with pytest.raises(ConfigError, match="nursery"):
+            TieredResultStore(nursery_capacity=0)
+        with pytest.raises(ConfigError, match="probation"):
+            TieredResultStore(probation_capacity=0)
+
+
+class TestMemoryOnly:
+    def test_put_lands_in_nursery(self):
+        store = TieredResultStore()
+        store.put(_jid(1), PAYLOAD)
+        counters = store.counters()
+        assert counters["nursery_insertions"] == 1
+        assert counters["nursery_size"] == 1
+        assert counters["probation_size"] == 0
+
+    def test_second_hit_promotes(self):
+        store = TieredResultStore()
+        store.put(_jid(1), PAYLOAD)
+        # put counts as the first "hit"; the second proves the entry.
+        assert store.get(_jid(1)) == PAYLOAD
+        counters = store.counters()
+        assert counters["nursery_hits"] == 1
+        assert counters["promotions"] == 1
+        assert counters["probation_size"] == 1
+        assert counters["nursery_size"] == 0
+        # Third access is a probation hit.
+        assert store.get(_jid(1)) == PAYLOAD
+        assert store.counters()["probation_hits"] == 1
+
+    def test_one_hit_wonders_die_in_the_nursery(self):
+        store = TieredResultStore(nursery_capacity=2)
+        for n in range(3):
+            store.put(_jid(n), PAYLOAD)
+        counters = store.counters()
+        assert counters["nursery_evictions"] == 1
+        assert counters["nursery_size"] == 2
+        # The LRU victim is gone (memory-only store: no disk fallback).
+        assert store.get(_jid(0)) is None
+        assert store.counters()["nursery_misses"] == 1
+
+    def test_promoted_entries_survive_nursery_churn(self):
+        store = TieredResultStore(nursery_capacity=1)
+        store.put(_jid(0), PAYLOAD)
+        assert store.get(_jid(0)) == PAYLOAD  # promoted
+        for n in range(1, 4):
+            store.put(_jid(n), PAYLOAD)  # churns the 1-entry nursery
+        assert store.get(_jid(0)) == PAYLOAD
+        assert store.counters()["probation_hits"] == 1
+
+    def test_probation_eviction_is_bounded(self):
+        store = TieredResultStore(probation_capacity=1)
+        for n in range(2):
+            store.put(_jid(n), PAYLOAD)
+            store.get(_jid(n))  # promote each
+        counters = store.counters()
+        assert counters["promotions"] == 2
+        assert counters["probation_evictions"] == 1
+        assert counters["probation_size"] == 1
+
+    def test_put_refreshes_probation_payload(self):
+        store = TieredResultStore()
+        store.put(_jid(1), PAYLOAD)
+        store.get(_jid(1))  # promote
+        updated = {"kind": "experiment", "result": {"value": 2}}
+        store.put(_jid(1), updated)
+        assert store.get(_jid(1)) == updated
+        # The re-put refreshed in place, not through the nursery.
+        assert store.counters()["nursery_insertions"] == 1
+
+    def test_discard_drops_all_tiers(self):
+        store = TieredResultStore()
+        store.put(_jid(1), PAYLOAD)
+        store.get(_jid(1))  # promote
+        store.put(_jid(2), PAYLOAD)
+        store.discard(_jid(1))
+        store.discard(_jid(2))
+        assert store.get(_jid(1)) is None
+        assert store.get(_jid(2)) is None
+
+    def test_contains(self):
+        store = TieredResultStore()
+        store.put(_jid(1), PAYLOAD)
+        assert _jid(1) in store
+        assert _jid(2) not in store
+
+
+class TestDiskTier:
+    def test_write_through_durability(self, tmp_path):
+        disk = ResultStore(tmp_path / "store")
+        store = TieredResultStore(disk, nursery_capacity=1)
+        store.put(_jid(0), PAYLOAD)
+        store.put(_jid(1), PAYLOAD)  # evicts jid(0) from the nursery
+        # The evicted entry is only a memory loss: disk still has it.
+        assert disk.get(_jid(0)) == PAYLOAD
+        assert store.get(_jid(0)) == PAYLOAD
+        counters = store.counters()
+        assert counters["disk_hits"] == 1
+        assert counters["nursery_evictions"] >= 1
+
+    def test_disk_hit_fills_nursery(self, tmp_path):
+        disk = ResultStore(tmp_path / "store")
+        disk.put(_jid(1), PAYLOAD)  # written by a previous process
+        store = TieredResultStore(disk)
+        assert store.get(_jid(1)) == PAYLOAD  # disk hit, nursery fill
+        assert store.get(_jid(1)) == PAYLOAD  # nursery hit (second) ...
+        counters = store.counters()
+        assert counters["disk_hits"] == 1
+        assert counters["nursery_hits"] == 1
+        assert counters["promotions"] == 1  # ... which promotes
+
+    def test_discard_reaches_disk(self, tmp_path):
+        disk = ResultStore(tmp_path / "store")
+        store = TieredResultStore(disk)
+        store.put(_jid(1), PAYLOAD)
+        store.discard(_jid(1))
+        assert disk.get(_jid(1)) is None
+        assert store.get(_jid(1)) is None
+
+    def test_counters_hit_rate(self, tmp_path):
+        disk = ResultStore(tmp_path / "store")
+        store = TieredResultStore(disk)
+        store.put(_jid(1), PAYLOAD)
+        store.get(_jid(1))  # hot hit
+        store.get(_jid(9))  # full miss
+        counters = store.counters()
+        assert counters["hot_hits"] == 1
+        assert counters["hot_hit_rate"] == pytest.approx(0.5)
+        assert counters["disk_misses"] == 1

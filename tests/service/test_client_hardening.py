@@ -1,0 +1,138 @@
+"""Hardened ServiceClient transport tests against a flaky stub server.
+
+The stub drops connections on demand, so the retry/no-retry contract is
+exercised on real sockets: idempotent GETs are retried with backoff,
+POSTs never are (the server may already have acted on them), and 429
+responses surface as typed OverloadedError with the Retry-After hint.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.errors import ConfigError, OverloadedError, ServiceError
+from repro.service.client import ServiceClient
+
+
+class _FlakyHandler(BaseHTTPRequestHandler):
+    """Drops the first N GET connections, counts every arrival."""
+
+    protocol_version = "HTTP/1.1"
+    state: dict = {}
+
+    def log_message(self, format, *args):  # noqa: A002
+        pass  # keep test output clean
+
+    def _drop(self) -> None:
+        # shutdown() sends the FIN immediately (a bare close() is
+        # deferred while rfile/wfile hold the socket open), so the
+        # client sees a dead keep-alive socket: RemoteDisconnected,
+        # a ConnectionResetError subclass.
+        self.connection.shutdown(socket.SHUT_RDWR)
+        self.close_connection = True
+
+    def do_GET(self):
+        self.state["gets"] += 1
+        if self.state["drop_gets"] > 0:
+            self.state["drop_gets"] -= 1
+            self._drop()
+            return
+        self._send(200, {"ok": True})
+
+    def do_POST(self):
+        self.state["posts"] += 1
+        if self.state["drop_posts"] > 0:
+            self.state["drop_posts"] -= 1
+            self._drop()
+            return
+        if self.state.get("shed"):
+            body = json.dumps(
+                {"error": "overloaded", "reason": "queue", "retry_after": 2.5}
+            ).encode()
+            self.send_response(429)
+            self.send_header("Retry-After", "3")
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        self._send(200, {"accepted": True})
+
+    def _send(self, status: int, body: dict) -> None:
+        data = json.dumps(body).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+
+@pytest.fixture
+def flaky():
+    """A live stub server; yields (base_url, state)."""
+    state = {"gets": 0, "posts": 0, "drop_gets": 0, "drop_posts": 0}
+    _FlakyHandler.state = state
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _FlakyHandler)
+    server.daemon_threads = True
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}", state
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+class TestUrlValidation:
+    def test_bad_url_is_config_error(self):
+        with pytest.raises(ConfigError, match="must look like"):
+            ServiceClient("not-a-url")
+
+    def test_missing_port_is_config_error(self):
+        with pytest.raises(ConfigError, match="must look like"):
+            ServiceClient("http://hostonly")
+
+
+class TestRetries:
+    def test_get_retried_through_dropped_connections(self, flaky):
+        base_url, state = flaky
+        state["drop_gets"] = 2
+        with ServiceClient(base_url, backoff_base=0.001) as client:
+            assert client._request("GET", "/healthz") == {"ok": True}
+        assert state["gets"] == 3  # 2 drops + 1 success
+
+    def test_get_retries_exhaust_to_service_error(self, flaky):
+        base_url, state = flaky
+        state["drop_gets"] = 100
+        client = ServiceClient(base_url, max_retries=2, backoff_base=0.001)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client._request("GET", "/healthz")
+        assert state["gets"] == 3  # initial attempt + 2 retries, no more
+
+    def test_post_is_never_retried(self, flaky):
+        # A dropped POST may or may not have been processed server-side;
+        # silently resending it could double-submit, so the client must
+        # surface the failure after exactly one attempt.
+        base_url, state = flaky
+        state["drop_posts"] = 1
+        client = ServiceClient(base_url, backoff_base=0.001)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client._request("POST", "/jobs", {"kind": "experiment"})
+        assert state["posts"] == 1
+
+
+class TestOverloadedResponses:
+    def test_429_is_typed_with_retry_after_from_body(self, flaky):
+        base_url, state = flaky
+        state["shed"] = True
+        with ServiceClient(base_url) as client:
+            with pytest.raises(OverloadedError) as excinfo:
+                client._request("POST", "/jobs", {"kind": "experiment"})
+        assert excinfo.value.retry_after == pytest.approx(2.5)
+        assert excinfo.value.reason == "queue"

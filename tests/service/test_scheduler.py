@@ -231,6 +231,83 @@ class TestFailureHandling:
             )
 
 
+class TestDrainAndListeners:
+    def test_drain_then_submit_is_draining_error(self):
+        from repro.errors import DrainingError
+
+        with Scheduler(workers=1, worker_target=echo_worker) as scheduler:
+            record = scheduler.submit(SPEC)
+            assert scheduler.drain(timeout=30)
+            assert not scheduler.accepting
+            assert scheduler.status(record.job_id).state == DONE
+            with pytest.raises(DrainingError):
+                scheduler.submit(_spec(1))
+
+    def test_resume_admission_reopens_submit(self):
+        with Scheduler(workers=1, worker_target=echo_worker) as scheduler:
+            scheduler.pause_admission()
+            scheduler.resume_admission()
+            record = scheduler.submit(SPEC)
+            assert scheduler.wait([record.job_id], timeout=30)
+
+    def test_listener_sees_terminal_transitions(self):
+        seen = []
+        with Scheduler(workers=1, worker_target=echo_worker) as scheduler:
+            scheduler.add_listener(
+                lambda jid, state, cached: seen.append((jid, state, cached))
+            )
+            record = scheduler.submit(SPEC)
+            assert scheduler.drain(timeout=30)
+        assert (record.job_id, DONE, False) in seen
+
+    def test_listener_exception_does_not_break_dispatch(self):
+        def bad_listener(jid, state, cached):
+            raise RuntimeError("listener bug")
+
+        with Scheduler(workers=1, worker_target=echo_worker) as scheduler:
+            scheduler.add_listener(bad_listener)
+            record = scheduler.submit(SPEC)
+            assert scheduler.drain(timeout=30)
+            assert scheduler.status(record.job_id).state == DONE
+
+
+class TestCompletedRetention:
+    def test_retention_validation(self):
+        with pytest.raises(ConfigError, match="completed_retention"):
+            Scheduler(
+                workers=1, worker_target=echo_worker, completed_retention=0
+            )
+
+    def test_old_terminal_records_are_evicted(self):
+        with Scheduler(
+            workers=1, worker_target=echo_worker, completed_retention=1
+        ) as scheduler:
+            records = [scheduler.submit(_spec(n)) for n in range(3)]
+            assert scheduler.drain(timeout=30)
+            survivors = [
+                record
+                for record in records
+                if _still_known(scheduler, record.job_id)
+            ]
+            # The bound holds; the newest terminal record survives.
+            assert len(survivors) == 1
+
+    def test_unbounded_by_default(self):
+        with Scheduler(workers=1, worker_target=echo_worker) as scheduler:
+            records = [scheduler.submit(_spec(n)) for n in range(5)]
+            assert scheduler.drain(timeout=30)
+            for record in records:
+                assert scheduler.status(record.job_id).state == DONE
+
+
+def _still_known(scheduler: Scheduler, jid: str) -> bool:
+    try:
+        scheduler.status(jid)
+    except JobNotFoundError:
+        return False
+    return True
+
+
 class TestRealWorker:
     def test_replay_job_end_to_end(self, small_log):
         """One inline replay through the real simulation worker."""
