@@ -421,6 +421,68 @@ class FastpathApiRule(Rule):
 
 
 @register
+class FleetApiRule(Rule):
+    """The fleet simulation internals stay inside
+    :mod:`repro.shared.fleet`: the scheduler's segment accounting, the
+    distinct-workload cursor sharing, and the columnar replay loop are
+    one coupled mechanism whose equivalence to the reference simulator
+    is regression-pinned, so other layers consume the package root's
+    public surface (``FleetWorkloads``, ``FleetSimulator``,
+    ``stream_segments``, ``churn_plan``) and never assemble a
+    :class:`DistinctWorkload` by hand."""
+
+    rule_id = "fleet-api"
+    description = (
+        "repro.shared.fleet.scheduler/workloads/simulator imports and "
+        "direct DistinctWorkload construction are confined to "
+        "repro.shared.fleet; other layers use the package-root API"
+    )
+    severity = Severity.ERROR
+    exempt_paths = ("*repro/shared/fleet/*",)
+
+    _INTERNAL_MODULES = (
+        "repro.shared.fleet.scheduler",
+        "repro.shared.fleet.workloads",
+        "repro.shared.fleet.simulator",
+    )
+
+    def visit_Import(self, ctx: FileContext, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name in self._INTERNAL_MODULES:
+                ctx.report(
+                    self,
+                    node,
+                    f"import of {alias.name} outside repro.shared.fleet; "
+                    "use the repro.shared.fleet package-root API",
+                )
+
+    def visit_ImportFrom(self, ctx: FileContext, node: ast.ImportFrom) -> None:
+        if node.level == 0 and (node.module or "") in self._INTERNAL_MODULES:
+            ctx.report(
+                self,
+                node,
+                f"import from {node.module} outside repro.shared.fleet; "
+                "use the repro.shared.fleet package-root API",
+            )
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name == "DistinctWorkload":
+            ctx.report(
+                self,
+                node,
+                "direct DistinctWorkload construction outside "
+                "repro.shared.fleet; use FleetWorkloads.from_specs or "
+                "FleetWorkloads.from_process_workloads",
+            )
+
+
+@register
 class FloatEqualityRule(Rule):
     """Miss rates, fractions and overhead ratios are floats; comparing
     them with ``==``/``!=`` against float literals is a rounding bug

@@ -986,7 +986,7 @@ def build_parser() -> argparse.ArgumentParser:
     submit_parser.add_argument(
         "--spec", default=None, metavar="JSON",
         help="submit a raw job spec object instead of an experiment id "
-        "(any kind: sweep-point, replay, shared-mix, ...)",
+        "(any kind: sweep-point, replay, shared-mix, fleet-cell, ...)",
     )
     submit_parser.add_argument("--seed", type=int, default=42)
     submit_parser.add_argument("--scale", type=float, default=1.0)

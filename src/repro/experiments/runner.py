@@ -19,6 +19,7 @@ from repro.experiments import (
     fig09_miss_rates,
     fig10_misses_eliminated,
     fig11_overhead,
+    fleet,
     headroom,
     reuse,
     robustness,
@@ -66,6 +67,7 @@ EXTENSION_EXPERIMENT_IDS: tuple[str, ...] = (
     "robustness",
     "reuse",
     "shared",
+    "fleet",
     "scenarios",
 )
 
@@ -169,6 +171,14 @@ def run_all(
                     quick=bool(subset),
                 )
             )
+        elif experiment_id == "fleet":
+            results.append(
+                fleet.run(
+                    seed=seed,
+                    scale_multiplier=scale_multiplier,
+                    quick=bool(subset),
+                )
+            )
         elif experiment_id == "scenarios":
             results.append(
                 scenarios.run(
@@ -256,11 +266,11 @@ def _run_all_parallel(
     for experiment_id in experiment_ids:
         if experiment_id not in known:
             raise KeyError(f"unknown experiment id {experiment_id!r}")
-    # The shared and scenarios experiments fan out their own
-    # finer-grained jobs (shared-mix cells, scenario replays), so they
-    # run at this level rather than as one coarse job each.
+    # The shared, fleet, and scenarios experiments fan out their own
+    # finer-grained jobs (shared-mix/fleet cells, scenario replays), so
+    # they run at this level rather than as one coarse job each.
     remote_ids = tuple(
-        e for e in experiment_ids if e not in ("shared", "scenarios")
+        e for e in experiment_ids if e not in ("shared", "fleet", "scenarios")
     )
     specs = experiment_specs(
         remote_ids,
@@ -278,6 +288,13 @@ def _run_all_parallel(
     }
     local = {
         "shared": lambda: shared.run(
+            seed=seed,
+            scale_multiplier=scale_multiplier,
+            quick=bool(subset),
+            jobs=jobs,
+            store=store,
+        ),
+        "fleet": lambda: fleet.run(
             seed=seed,
             scale_multiplier=scale_multiplier,
             quick=bool(subset),

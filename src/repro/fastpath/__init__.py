@@ -28,7 +28,18 @@ reserved for this package and the RTL2 codec — enforced by the
 ``fastpath-api`` cachelint rule.
 """
 
-from repro.fastpath.compiled import CompiledTraceLog, compile_log, ensure_compiled
+from repro.fastpath.compiled import (
+    OP_ACCESS,
+    OP_CREATE,
+    OP_END,
+    OP_PIN,
+    OP_UNMAP,
+    OP_UNPIN,
+    CompiledTraceLog,
+    compile_log,
+    ensure_compiled,
+    log_columns,
+)
 from repro.fastpath.kernels import (
     prepare_plan,
     replay_specialized,
@@ -52,6 +63,13 @@ from repro.fastpath.replay import (
 __all__ = [
     "CompiledTraceLog",
     "FASTPATH_TOTALS",
+    "OP_ACCESS",
+    "OP_CREATE",
+    "OP_END",
+    "OP_PIN",
+    "OP_UNMAP",
+    "OP_UNPIN",
+    "log_columns",
     "batched_path",
     "compile_log",
     "disable_fastpath",

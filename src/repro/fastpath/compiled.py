@@ -313,3 +313,27 @@ def ensure_compiled(log: TraceLog | CompiledTraceLog) -> CompiledTraceLog:
     if isinstance(log, CompiledTraceLog):
         return log
     return compile_log(log)
+
+
+#: One compiled log's parallel columns, in schema order.
+Columns = tuple[array, array, array, array, array, array]
+
+
+def log_columns(log: TraceLog | CompiledTraceLog) -> Columns:
+    """The packed ``(op, time, trace_id, size, module, repeat)`` columns.
+
+    The sanctioned *read-only* view for replay loops outside this
+    package (the fleet simulator walks scheduler-issued index ranges
+    over these arrays): callers get column speed without constructing
+    or mutating a :class:`CompiledTraceLog` themselves, so the
+    ``fastpath-api`` confinement of the column writers still holds.
+    """
+    compiled = ensure_compiled(log)
+    return (
+        compiled.op,
+        compiled.time,
+        compiled.trace_id,
+        compiled.size,
+        compiled.module,
+        compiled.repeat,
+    )

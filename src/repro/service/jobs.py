@@ -20,6 +20,11 @@ Four job kinds cover the service's consumers:
 * ``shared-mix`` — one (mix, process count, sharing policy) cell of
   the cross-process shared-cache table, the unit ``run shared
   --jobs N`` fans out.
+* ``fleet-cell`` — one (mix, process count, sharing policy) cell of
+  the fleet scaling curve, replayed through the streaming fleet
+  stack (the unit ``run fleet --jobs N`` fans out).  Reuses the
+  shared-mix fields, so adding the kind left every existing job id
+  untouched.
 * ``scenario`` — replay one registered adversarial scenario (a row of
   the scenario regression table, the unit ``run scenarios --jobs N``
   fans out).
@@ -54,6 +59,7 @@ JOB_KINDS = (
     "sweep-point",
     "replay",
     "shared-mix",
+    "fleet-cell",
     "scenario",
     "calibrate",
 )
@@ -148,29 +154,29 @@ class JobSpec:
             if not self.benchmark:
                 raise ConfigError("sweep-point jobs need a benchmark")
             self._validate_manager()
-        elif self.kind == "shared-mix":
+        elif self.kind in ("shared-mix", "fleet-cell"):
             if self.mix not in MIX_KINDS:
                 raise ConfigError(
-                    f"shared-mix jobs need a mix from {MIX_KINDS}, got "
+                    f"{self.kind} jobs need a mix from {MIX_KINDS}, got "
                     f"{self.mix!r}"
                 )
             if self.processes is None or self.processes < 2:
                 raise ConfigError(
-                    f"shared-mix jobs need processes >= 2, got {self.processes}"
+                    f"{self.kind} jobs need processes >= 2, got {self.processes}"
                 )
             if self.policy not in POLICY_VARIANTS:
                 raise ConfigError(
-                    f"shared-mix jobs need a policy from {POLICY_VARIANTS}, "
+                    f"{self.kind} jobs need a policy from {POLICY_VARIANTS}, "
                     f"got {self.policy!r}"
                 )
             if self.schedule not in SCHEDULES:
                 raise ConfigError(
-                    f"shared-mix jobs need a schedule from {SCHEDULES}, got "
+                    f"{self.kind} jobs need a schedule from {SCHEDULES}, got "
                     f"{self.schedule!r}"
                 )
             if self.quantum < 1:
                 raise ConfigError(
-                    f"shared-mix quantum must be >= 1, got {self.quantum}"
+                    f"{self.kind} quantum must be >= 1, got {self.quantum}"
                 )
         elif self.kind == "scenario":
             if not self.scenario:

@@ -163,6 +163,23 @@ def _run_shared_mix(spec: JobSpec) -> dict:
     return {"kind": spec.kind, "result": cell}
 
 
+def _run_fleet_cell(spec: JobSpec) -> dict:
+    # Imported lazily: the fleet experiment fans back out through the
+    # scheduler for --jobs runs, so a module-level import would cycle.
+    from repro.experiments.fleet import simulate_fleet_cell
+
+    cell = simulate_fleet_cell(
+        spec.mix,
+        spec.processes,
+        spec.policy,
+        seed=spec.seed,
+        scale_multiplier=spec.scale_multiplier,
+        schedule=spec.schedule,
+        quantum=spec.quantum,
+    )
+    return {"kind": spec.kind, "result": cell}
+
+
 def _run_scenario(spec: JobSpec) -> dict:
     # Imported lazily: the scenarios experiment fans back out through
     # the scheduler for --jobs runs, so a module-level import would
@@ -205,6 +222,7 @@ _EXECUTORS = {
     "sweep-point": _run_sweep_point,
     "replay": _run_replay,
     "shared-mix": _run_shared_mix,
+    "fleet-cell": _run_fleet_cell,
     "scenario": _run_scenario,
     "calibrate": _run_calibrate,
 }

@@ -16,6 +16,20 @@ processes:
   identity, so every process agrees on them — the cross-process
   overlap ShareJIT observes from frameworks and system libraries.
 
+Libraries are prepared once per library log (:func:`prepare_library`):
+the id remapping and the sha256 content keys are computed a single
+time, and every app the library links into reuses the prepared form —
+only the per-app time rescale runs per merge.
+
+Fleet-scale mixes replace the single fixed overlay with a *catalog* of
+libraries ranked by popularity (:data:`LIBRARY_CATALOG`).  Each process
+draws a **reach** from a seeded Zipf distribution
+(:func:`zipf_reaches`) and links the top-``reach`` catalog entries, so
+the rank-``i`` library is mapped by a Zipf-shaped share of the fleet
+(``P(reach > i)``) while per-process library sets stay nested prefixes
+— which bounds the number of *distinct* workload contents by
+``len(palette) * len(catalog)`` regardless of the process count.
+
 Library ``ModuleUnmap`` records are dropped during the overlay: a
 shared library outlives any one process's phases, and per-process
 unmap of shared code is exactly what the reference-counted shared
@@ -24,13 +38,16 @@ cache's detach path models.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.errors import ConfigError
-from repro.rand import derive_seed
+from repro.rand import derive_seed, substream
 from repro.shared.identity import TraceKey
 from repro.tracelog.records import (
     EndOfLog,
+    LogRecord,
     ModuleUnmap,
     TraceAccess,
     TraceCreate,
@@ -42,10 +59,12 @@ from repro.fastpath.artifacts import cached_log
 from repro.workloads.catalog import get_profile
 
 #: Namespace of shared-library trace keys (never collides with a
-#: benchmark name).
+#: benchmark name).  Catalog ranks beyond the first suffix the library
+#: name (``__shlib__:mcf``) so distinct libraries never alias.
 LIBRARY_NAMESPACE = "__shlib__"
 
-#: Library trace ids are remapped above every app trace id.
+#: Library trace ids are remapped above every app trace id (the
+#: rank-``k`` catalog entry uses the ``(k + 1)``-th multiple).
 LIBRARY_TRACE_BASE = 1 << 24
 
 #: Library module ids are remapped above every app module id.
@@ -57,6 +76,19 @@ DEFAULT_LIBRARY = "gap"
 #: Extra scale divisor on the library profile (shrinks the library
 #: relative to the app it is linked into).
 DEFAULT_LIBRARY_SCALE = 2.0
+
+#: Library catalog of the fleet mixes, in popularity-rank order.  The
+#: rank-0 entry is the classic overlay (same profile, same seed
+#: derivation), so a reach-1 fleet process is byte-identical to the
+#: existing heterogeneous composition.
+LIBRARY_CATALOG = ("gap", "mcf", "art", "eon")
+
+#: Zipf skew of the per-process library-reach draw.
+DEFAULT_ZIPF_SKEW = 1.1
+
+# Compact record kinds of a prepared library (ModuleUnmap/EndOfLog are
+# dropped at preparation time, so only four kinds survive).
+_CREATE, _ACCESS, _PIN, _UNPIN = range(4)
 
 
 @dataclass
@@ -75,6 +107,34 @@ class ProcessWorkload:
     keys: dict[int, TraceKey] = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class PreparedLibrary:
+    """A shared-library log pre-remapped for overlay composition.
+
+    Trace/module ids are already shifted into the library's reserved
+    range and every content key is already hashed, so linking the
+    library into an app costs only the per-app time rescale — the
+    remap and the sha256 work run once per library, not once per
+    distinct app (let alone once per process).
+
+    Attributes:
+        name: Library benchmark name.
+        rank: Popularity rank in the catalog (0 = most popular).
+        end_time: The library log's own end time (rescale denominator).
+        code_footprint: The library log's code footprint.
+        keys: Content key per *remapped* trace id.
+        records: ``(time, kind, trace_id, size, module_id, repeat)``
+            tuples in log order, ids remapped, times unscaled.
+    """
+
+    name: str
+    rank: int
+    end_time: int
+    code_footprint: int
+    keys: dict[int, TraceKey]
+    records: tuple[tuple[int, int, int, int, int, int], ...]
+
+
 def workload_keys(namespace: str, log: TraceLog) -> dict[int, TraceKey]:
     """Content keys of every trace a synthesized log creates."""
     return {
@@ -85,73 +145,239 @@ def workload_keys(namespace: str, log: TraceLog) -> dict[int, TraceKey]:
     }
 
 
-def compose_with_library(
-    app_name: str, app_log: TraceLog, library_log: TraceLog
-) -> ProcessWorkload:
-    """Link the shared-library overlay into one process's log.
+def library_namespace(name: str, rank: int) -> str:
+    """Key namespace of the rank-``rank`` catalog library."""
+    if rank == 0:
+        return LIBRARY_NAMESPACE
+    return f"{LIBRARY_NAMESPACE}:{name}"
 
-    Library record times are rescaled onto the app's virtual-time axis
-    (so library reuse spreads across the whole run), ids are remapped
-    into the reserved ranges, and library unmaps are dropped.
+
+def prepare_library(
+    name: str, library_log: TraceLog, rank: int = 0
+) -> PreparedLibrary:
+    """Pre-remap *library_log* into overlay form (once per library).
+
+    Raises:
+        ConfigError: for a negative rank.
     """
-    app_end = max(1, app_log.end_time)
-    lib_end = max(1, library_log.end_time)
-    keys = workload_keys(app_name, app_log)
-    lib_records: list = []
+    if rank < 0:
+        raise ConfigError(f"library rank must be >= 0, got {rank}")
+    namespace = library_namespace(name, rank)
+    trace_base = LIBRARY_TRACE_BASE * (rank + 1)
+    module_base = LIBRARY_MODULE_BASE * (rank + 1)
+    keys: dict[int, TraceKey] = {}
+    records: list[tuple[int, int, int, int, int, int]] = []
     for record in library_log.records:
         if isinstance(record, (ModuleUnmap, EndOfLog)):
             continue
-        time = record.time * app_end // lib_end
         if isinstance(record, TraceCreate):
-            new_id = record.trace_id + LIBRARY_TRACE_BASE
+            new_id = record.trace_id + trace_base
             keys[new_id] = TraceKey.from_workload(
-                LIBRARY_NAMESPACE, record.trace_id, record.size, record.module_id
+                namespace, record.trace_id, record.size, record.module_id
             )
-            lib_records.append(
-                TraceCreate(
-                    time=time,
-                    trace_id=new_id,
-                    size=record.size,
-                    module_id=record.module_id + LIBRARY_MODULE_BASE,
+            records.append(
+                (
+                    record.time,
+                    _CREATE,
+                    new_id,
+                    record.size,
+                    record.module_id + module_base,
+                    0,
                 )
             )
         elif isinstance(record, TraceAccess):
-            lib_records.append(
-                TraceAccess(
-                    time=time,
-                    trace_id=record.trace_id + LIBRARY_TRACE_BASE,
-                    repeat=record.repeat,
+            records.append(
+                (
+                    record.time,
+                    _ACCESS,
+                    record.trace_id + trace_base,
+                    0,
+                    0,
+                    record.repeat,
                 )
             )
         elif isinstance(record, TracePin):
-            lib_records.append(
-                TracePin(time=time, trace_id=record.trace_id + LIBRARY_TRACE_BASE)
+            records.append(
+                (record.time, _PIN, record.trace_id + trace_base, 0, 0, 0)
             )
         elif isinstance(record, TraceUnpin):
-            lib_records.append(
-                TraceUnpin(time=time, trace_id=record.trace_id + LIBRARY_TRACE_BASE)
+            records.append(
+                (record.time, _UNPIN, record.trace_id + trace_base, 0, 0, 0)
             )
-    merged = TraceLog(
-        benchmark=f"{app_name}+shlib",
-        duration_seconds=app_log.duration_seconds,
-        code_footprint=app_log.code_footprint + library_log.code_footprint,
+    return PreparedLibrary(
+        name=name,
+        rank=rank,
+        end_time=max(1, library_log.end_time),
+        code_footprint=library_log.code_footprint,
+        keys=keys,
+        records=tuple(records),
     )
-    app_records = [r for r in app_log.records if not isinstance(r, EndOfLog)]
-    a = b = 0
-    while a < len(app_records) or b < len(lib_records):
-        # Two-pointer merge; the app wins time ties so per-stream order
-        # and the merge result are both deterministic.
-        if b >= len(lib_records) or (
-            a < len(app_records) and app_records[a].time <= lib_records[b].time
-        ):
-            merged.append(app_records[a])
-            a += 1
+
+
+def _rescaled_records(
+    library: PreparedLibrary, app_end: int
+) -> list[LogRecord]:
+    """The library's record objects on the app's virtual-time axis."""
+    lib_end = library.end_time
+    out: list[LogRecord] = []
+    for time, kind, trace_id, size, module_id, repeat in library.records:
+        scaled = time * app_end // lib_end
+        if kind == _ACCESS:
+            out.append(
+                TraceAccess(time=scaled, trace_id=trace_id, repeat=repeat)
+            )
+        elif kind == _CREATE:
+            out.append(
+                TraceCreate(
+                    time=scaled, trace_id=trace_id, size=size, module_id=module_id
+                )
+            )
+        elif kind == _PIN:
+            out.append(TracePin(time=scaled, trace_id=trace_id))
         else:
-            merged.append(lib_records[b])
-            b += 1
+            out.append(TraceUnpin(time=scaled, trace_id=trace_id))
+    return out
+
+
+def compose_with_libraries(
+    app_name: str,
+    app_log: TraceLog,
+    libraries: Sequence[PreparedLibrary],
+) -> ProcessWorkload:
+    """Link prepared shared libraries into one process's log.
+
+    Library record times are rescaled onto the app's virtual-time axis
+    (so library reuse spreads across the whole run); the remapped ids
+    and hashed keys come straight from the prepared form.  Libraries
+    merge in rank order, and the already-merged stream wins time ties
+    — for a single library this reproduces, byte for byte, the
+    app-wins-ties merge the 2/4/8-process tables were built on.
+    """
+    app_end = max(1, app_log.end_time)
+    keys = workload_keys(app_name, app_log)
+    merged_records = [r for r in app_log.records if not isinstance(r, EndOfLog)]
+    footprint = app_log.code_footprint
+    for library in libraries:
+        keys.update(library.keys)
+        footprint += library.code_footprint
+        lib_records = _rescaled_records(library, app_end)
+        previous = merged_records
+        merged_records = []
+        a = b = 0
+        while a < len(previous) or b < len(lib_records):
+            # Two-pointer merge; the earlier-ranked stream wins time
+            # ties so per-stream order and the merge result are both
+            # deterministic.
+            if b >= len(lib_records) or (
+                a < len(previous) and previous[a].time <= lib_records[b].time
+            ):
+                merged_records.append(previous[a])
+                a += 1
+            else:
+                merged_records.append(lib_records[b])
+                b += 1
+    suffix = "+shlib" if len(libraries) == 1 else f"+shlib{len(libraries)}"
+    merged = TraceLog(
+        benchmark=f"{app_name}{suffix}" if libraries else app_name,
+        duration_seconds=app_log.duration_seconds,
+        code_footprint=footprint,
+    )
+    merged.records = merged_records
     merged.append(EndOfLog(time=app_end))
     merged.validate()
     return ProcessWorkload(name=merged.benchmark, log=merged, keys=keys)
+
+
+def compose_with_library(
+    app_name: str, app_log: TraceLog, library_log: TraceLog
+) -> ProcessWorkload:
+    """Link one shared-library overlay into one process's log.
+
+    Small-N convenience over :func:`prepare_library` +
+    :func:`compose_with_libraries`; callers composing many apps against
+    the same library should prepare it once instead.
+    """
+    prepared = prepare_library(DEFAULT_LIBRARY, library_log, rank=0)
+    return compose_with_libraries(app_name, app_log, [prepared])
+
+
+def zipf_reaches(
+    processes: int,
+    catalog_size: int,
+    seed: int = 42,
+    skew: float = DEFAULT_ZIPF_SKEW,
+) -> list[int]:
+    """Per-process library reach under a seeded Zipf draw.
+
+    Process ``p`` links the top-``reaches[p]`` catalog libraries, so
+    reach ``r`` is drawn with probability proportional to ``r**-skew``
+    over ``{1, ..., catalog_size}``.  Nested prefixes keep distinct
+    workload contents bounded while giving every library rank a
+    Zipf-shaped fleet-wide popularity.
+
+    Raises:
+        ConfigError: for a non-positive process count, catalog size, or
+            skew.
+    """
+    if processes < 1:
+        raise ConfigError(f"reach draw needs >= 1 process, got {processes}")
+    if catalog_size < 1:
+        raise ConfigError(
+            f"reach draw needs a non-empty catalog, got {catalog_size}"
+        )
+    if skew <= 0:
+        raise ConfigError(f"zipf skew must be > 0, got {skew:g}")
+    cumulative: list[float] = []
+    total = 0.0
+    for rank in range(1, catalog_size + 1):
+        total += rank**-skew
+        cumulative.append(total)
+    rng = substream(seed, "shared.fleet.zipf")
+    return [
+        bisect_left(cumulative, rng.random() * total) + 1
+        for _ in range(processes)
+    ]
+
+
+def build_library_catalog(
+    seed: int = 42,
+    scale_multiplier: float = 1.0,
+    reach: int = 1,
+    catalog: Sequence[str] = LIBRARY_CATALOG,
+    library_scale: float = DEFAULT_LIBRARY_SCALE,
+) -> list[PreparedLibrary]:
+    """Synthesize and prepare the top-``reach`` catalog libraries.
+
+    The rank-0 entry keeps the classic ``shared.library`` seed
+    derivation (so reach-1 compositions reproduce the fixed-overlay
+    workloads exactly); deeper ranks derive per-library seeds.
+
+    Raises:
+        ConfigError: for a reach outside ``[0, len(catalog)]`` or a
+            non-positive library scale.
+    """
+    if not 0 <= reach <= len(catalog):
+        raise ConfigError(
+            f"library reach must be in [0, {len(catalog)}], got {reach}"
+        )
+    if library_scale <= 0:
+        raise ConfigError(f"library scale must be > 0, got {library_scale:g}")
+    prepared: list[PreparedLibrary] = []
+    for rank in range(reach):
+        name = catalog[rank]
+        profile = get_profile(name)
+        lib_seed = (
+            derive_seed(seed, "shared.library")
+            if rank == 0
+            else derive_seed(seed, f"shared.library.{name}")
+        )
+        log = cached_log(
+            profile,
+            seed=lib_seed,
+            scale=profile.default_scale * scale_multiplier * library_scale,
+        )
+        prepared.append(prepare_library(name, log, rank=rank))
+    return prepared
 
 
 def build_process_workloads(
@@ -165,7 +391,8 @@ def build_process_workloads(
 
     Repeated benchmark names produce content-identical workloads (same
     binary run twice); with *library* set, every process additionally
-    links the same shared-library overlay.
+    links the same shared-library overlay (prepared once, however many
+    distinct apps it links into).
 
     Raises:
         ConfigError: for an empty mix or a non-positive library scale.
@@ -174,7 +401,7 @@ def build_process_workloads(
         raise ConfigError("a process mix needs at least one benchmark")
     if library is not None and library_scale <= 0:
         raise ConfigError(f"library scale must be > 0, got {library_scale:g}")
-    library_log = None
+    prepared: list[PreparedLibrary] = []
     if library is not None:
         profile = get_profile(library)
         library_log = cached_log(
@@ -182,6 +409,7 @@ def build_process_workloads(
             seed=derive_seed(seed, "shared.library"),
             scale=profile.default_scale * scale_multiplier * library_scale,
         )
+        prepared = [prepare_library(library, library_log, rank=0)]
     composed: dict[str, ProcessWorkload] = {}
     workloads: list[ProcessWorkload] = []
     for name in benchmarks:
@@ -192,11 +420,13 @@ def build_process_workloads(
                 seed=seed,
                 scale=profile.default_scale * scale_multiplier,
             )
-            if library_log is None:
+            if not prepared:
                 composed[name] = ProcessWorkload(
                     name=name, log=app_log, keys=workload_keys(name, app_log)
                 )
             else:
-                composed[name] = compose_with_library(name, app_log, library_log)
+                composed[name] = compose_with_libraries(
+                    name, app_log, prepared
+                )
         workloads.append(composed[name])
     return workloads

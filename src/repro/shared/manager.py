@@ -631,7 +631,12 @@ class SharedAllGroup(SharedCacheGroup):
     ) -> None:
         super().__init__(capacities, config, sharing)
         self._manager = GenerationalCacheManager(sum(capacities), config)
-        #: gid -> {process -> module id it maps the trace from}.
+        #: gid -> {module id -> bitmask of processes mapping it from
+        #: that module}.  A process appears in at most one module's
+        #: mask per gid (latest mapping wins).  Bitmasks keep this
+        #: O(gids x modules) rather than O(gids x processes) — the
+        #: difference between kilobytes and megabytes for 1000-process
+        #: fleets replaying a handful of distinct binaries.
         self._attachments: dict[int, dict[int, int]] = {}
         self._pin_claims: dict[int, set[int]] = {}
         self.name = f"group[shared-all x{self.n_processes}, {config.label()}]"
@@ -643,7 +648,7 @@ class SharedAllGroup(SharedCacheGroup):
         self, process: int, gid: int, time: int, count: int, module_id: int
     ) -> AccessOutcome:
         outcome = self._manager.on_hit(gid, time, count)
-        self._attachments.setdefault(gid, {})[process] = module_id
+        self._attach(gid, process, module_id)
         self._sync_attachments(outcome.effects)
         return outcome
 
@@ -651,11 +656,11 @@ class SharedAllGroup(SharedCacheGroup):
         self, process: int, gid: int, size: int, module_id: int, time: int
     ) -> InsertOutcome:
         if self._manager.lookup(gid) is not None:
-            self._attachments.setdefault(gid, {})[process] = module_id
+            self._attach(gid, process, module_id)
             return InsertOutcome(effects=[], deduped=True)
         effects = self._manager.insert(gid, size, module_id, time)
         if self._manager.lookup(gid) is not None:
-            self._attachments[gid] = {process: module_id}
+            self._attachments[gid] = {module_id: 1 << process}
         self._sync_attachments(effects)
         return InsertOutcome(effects=effects, deduped=False)
 
@@ -663,14 +668,19 @@ class SharedAllGroup(SharedCacheGroup):
         self, process: int, module_id: int, time: int
     ) -> list[Effect]:
         effects: list[Effect] = []
+        bit = 1 << process
         mine = [
             gid
             for gid, holders in self._attachments.items()
-            if holders.get(process) == module_id
+            if holders.get(module_id, 0) & bit
         ]
         for gid in mine:
             holders = self._attachments[gid]
-            del holders[process]
+            mask = holders[module_id] & ~bit
+            if mask:
+                holders[module_id] = mask
+            else:
+                del holders[module_id]
             self._drop_pin_claim(process, gid)
             if holders:
                 continue  # other processes still map this code
@@ -718,6 +728,23 @@ class SharedAllGroup(SharedCacheGroup):
 
     def _iter_caches(self) -> Iterable[CodeCache]:
         yield from self._manager.caches()
+
+    def _attach(self, gid: int, process: int, module_id: int) -> None:
+        """Record that *process* maps *gid* via *module_id* (latest
+        mapping wins, as a remap moves the process between masks)."""
+        holders = self._attachments.setdefault(gid, {})
+        bit = 1 << process
+        mask = holders.get(module_id, 0)
+        if not mask & bit:
+            for other, other_mask in holders.items():
+                if other_mask & bit:
+                    other_mask &= ~bit
+                    if other_mask:
+                        holders[other] = other_mask
+                    else:
+                        del holders[other]
+                    break
+        holders[module_id] = mask | bit
 
     def _sync_attachments(self, effects: list[Effect]) -> None:
         for effect in effects:

@@ -400,6 +400,50 @@ class TestSharedCacheApi:
         assert hits(src, "shared-cache-api") == []
 
 
+class TestFleetApi:
+    def test_scheduler_module_import_flagged(self):
+        assert hits("import repro.shared.fleet.scheduler\n", "fleet-api") == [
+            "fleet-api"
+        ]
+
+    def test_from_workloads_import_flagged(self):
+        src = "from repro.shared.fleet.workloads import DistinctWorkload\n"
+        assert hits(src, "fleet-api") == ["fleet-api"]
+
+    def test_from_simulator_import_flagged(self):
+        src = "from repro.shared.fleet.simulator import FleetSimulator\n"
+        assert hits(src, "fleet-api") == ["fleet-api"]
+
+    def test_direct_distinct_construction_flagged(self):
+        src = "w = DistinctWorkload(name, cols, keys, 0, 0, (), {})\n"
+        assert hits(src, "fleet-api") == ["fleet-api"]
+
+    def test_attribute_construction_flagged(self):
+        src = "w = workloads_mod.DistinctWorkload(name)\n"
+        assert hits(src, "fleet-api") == ["fleet-api"]
+
+    def test_fleet_package_is_exempt(self):
+        src = "from repro.shared.fleet.scheduler import ProcessStream\n"
+        assert (
+            hits(src, "fleet-api", path="src/repro/shared/fleet/simulator.py")
+            == []
+        )
+
+    def test_package_root_usage_is_fine(self):
+        src = (
+            "from repro.shared.fleet import FleetSimulator, FleetWorkloads\n"
+            "fw = FleetWorkloads.from_specs(specs)\n"
+        )
+        assert hits(src, "fleet-api") == []
+
+    def test_suppressed(self):
+        src = (
+            "import repro.shared.fleet.scheduler"
+            "  # cachelint: disable=fleet-api\n"
+        )
+        assert hits(src, "fleet-api") == []
+
+
 class TestScenariosDeterminism:
     SCENARIO_PATH = "src/repro/scenarios/fixture.py"
 

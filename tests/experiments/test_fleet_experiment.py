@@ -1,0 +1,116 @@
+"""The fleet scaling-curve experiment: table, cells, provenance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import fleet
+from repro.experiments.base import ExperimentResult, render_table
+from repro.shared.compose import LIBRARY_CATALOG
+
+
+@pytest.fixture(scope="module")
+def quick_table() -> ExperimentResult:
+    return fleet.run(seed=42, quick=True, process_counts=(8, 16))
+
+
+class TestFleetSpecs:
+    def test_homogeneous_replicates_one_binary(self):
+        specs = fleet.fleet_specs("homogeneous", 8)
+        assert specs == [("crafty", fleet.HOMOGENEOUS_REACH)] * 8
+
+    def test_heterogeneous_cycles_palette_with_zipf_reach(self):
+        specs = fleet.fleet_specs("heterogeneous", 16)
+        assert len(specs) == 16
+        assert {b for b, _ in specs} == set(fleet.HETEROGENEOUS_PALETTE)
+        assert all(1 <= r <= len(LIBRARY_CATALOG) for _, r in specs)
+
+    def test_specs_deterministic_per_seed(self):
+        assert fleet.fleet_specs("heterogeneous", 16, seed=1) == fleet.fleet_specs(
+            "heterogeneous", 16, seed=1
+        )
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ConfigError, match="mix"):
+            fleet.fleet_specs("bimodal", 8)
+
+    def test_tiny_fleet_rejected(self):
+        with pytest.raises(ConfigError, match="processes"):
+            fleet.fleet_specs("homogeneous", 1)
+
+
+class TestCell:
+    def test_cell_is_deterministic(self):
+        a = fleet.simulate_fleet_cell(
+            "heterogeneous", 8, "shared-persistent", scale_multiplier=128
+        )
+        b = fleet.simulate_fleet_cell(
+            "heterogeneous", 8, "shared-persistent", scale_multiplier=128
+        )
+        assert a == b
+
+    def test_cell_reports_fleet_metrics(self):
+        cell = fleet.simulate_fleet_cell(
+            "heterogeneous", 8, "shared-persistent", scale_multiplier=128
+        )
+        assert cell["processes"] == 8
+        assert 0 < cell["distinct_workloads"] <= 8
+        assert cell["events"] > 0
+        assert 0.0 <= cell["dedup_ratio"] <= 1.0
+        assert 0.0 <= cell["shared_hit_share"] <= 1.0
+
+    def test_private_policy_never_shares(self):
+        cell = fleet.simulate_fleet_cell(
+            "homogeneous", 8, "private", scale_multiplier=128
+        )
+        assert cell["shared_hit_share"] == 0
+        assert cell["dedup_bytes"] == 0
+
+    def test_shared_all_counts_every_hit_as_shared(self):
+        cell = fleet.simulate_fleet_cell(
+            "homogeneous", 8, "shared-all", scale_multiplier=128
+        )
+        assert cell["shared_hit_share"] == pytest.approx(1.0)
+
+
+class TestTable:
+    def test_shape(self, quick_table):
+        # 2 mixes x 2 process counts x 4 policies.
+        assert len(quick_table.rows) == 16
+        assert quick_table.columns[:3] == ["Mix", "Procs", "Policy"]
+        assert {row["Procs"] for row in quick_table.rows} == {8, 16}
+
+    def test_dedup_grows_with_fleet_size(self, quick_table):
+        def ratio(mix, procs):
+            for row in quick_table.rows:
+                if (
+                    row["Mix"] == mix
+                    and row["Procs"] == procs
+                    and row["Policy"] == "shared-persistent"
+                ):
+                    return row["DedupRatio"]
+            raise AssertionError("row missing")
+
+        for mix in ("homogeneous", "heterogeneous"):
+            assert ratio(mix, 16) >= ratio(mix, 8)
+
+    def test_private_baseline_compiles_most(self, quick_table):
+        by_policy = {}
+        for row in quick_table.rows:
+            if row["Mix"] == "homogeneous" and row["Procs"] == 16:
+                by_policy[row["Policy"]] = row["GeneratedKB"]
+        assert by_policy["private"] >= by_policy["shared-persistent"]
+        assert by_policy["shared-persistent"] >= by_policy["shared-all"]
+
+    def test_notes_and_provenance(self, quick_table):
+        assert quick_table.seed == 42
+        assert quick_table.config_digest
+        assert any("Zipf" in note for note in quick_table.notes)
+        assert any("fleet replay floor" in note for note in quick_table.notes)
+        rendered = render_table(quick_table)
+        assert f"seed=42  config={quick_table.config_digest}" in rendered
+
+    def test_parallel_run_matches_serial(self, quick_table):
+        parallel = fleet.run(seed=42, quick=True, process_counts=(8, 16), jobs=2)
+        assert parallel.rows == quick_table.rows

@@ -1,0 +1,85 @@
+"""fleet-cell jobs: spec validation, execution, and id stability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.fleet import simulate_fleet_cell
+from repro.service.jobs import JobSpec, job_id, spec_from_dict
+from repro.service.workers import execute_job
+
+
+def _spec(**overrides) -> JobSpec:
+    fields = dict(
+        kind="fleet-cell",
+        mix="heterogeneous",
+        processes=8,
+        policy="shared-persistent",
+        scale_multiplier=128.0,
+    )
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+class TestSpecValidation:
+    def test_valid_spec_passes(self):
+        _spec().validate()
+
+    @pytest.mark.parametrize(
+        ("field", "value", "match"),
+        [
+            ("mix", "bimodal", "mix"),
+            ("mix", None, "mix"),
+            ("processes", 1, "processes"),
+            ("processes", None, "processes"),
+            ("policy", "shared-sometimes", "policy"),
+            ("policy", None, "policy"),
+            ("schedule", "fifo", "schedule"),
+            ("quantum", 0, "quantum"),
+        ],
+    )
+    def test_invalid_field_rejected(self, field, value, match):
+        with pytest.raises(ConfigError, match=match):
+            _spec(**{field: value}).validate()
+
+    def test_round_trips_through_dict(self):
+        spec = _spec(schedule="random", quantum=16, seed=7)
+        again = spec_from_dict(spec.to_dict())
+        assert again == spec
+        assert job_id(again) == job_id(spec)
+
+    def test_distinct_from_shared_mix_job(self):
+        # Same fields, different kind: distinct content addresses, so
+        # the store never conflates fleet and reference cells.
+        assert job_id(_spec()) != job_id(_spec(kind="shared-mix"))
+
+    def test_job_id_covers_cell_fields(self):
+        base = job_id(_spec())
+        assert job_id(_spec(policy="private")) != base
+        assert job_id(_spec(processes=64)) != base
+        assert job_id(_spec(mix="homogeneous")) != base
+        assert job_id(_spec(quantum=8)) != base
+
+
+class TestExecution:
+    def test_payload_matches_direct_cell(self):
+        spec = _spec()
+        payload = execute_job(spec)
+        assert payload["kind"] == "fleet-cell"
+        assert payload["config_digest"] == job_id(spec)
+        assert payload["result"] == simulate_fleet_cell(
+            "heterogeneous",
+            8,
+            "shared-persistent",
+            seed=spec.seed,
+            scale_multiplier=128.0,
+            schedule=spec.schedule,
+            quantum=spec.quantum,
+        )
+
+    def test_result_is_json_safe(self):
+        import json
+
+        payload = execute_job(_spec(processes=4))
+        json.dumps(payload)

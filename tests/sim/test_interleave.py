@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+
 import pytest
 
 from repro.errors import ConfigError
@@ -16,6 +18,52 @@ def _log(name: str, n_records: int, stride: int = 10) -> TraceLog:
         log.append(TraceAccess(time=i * stride, trace_id=0))
     log.append(EndOfLog(time=n_records * stride))
     return log
+
+
+def golden_logs() -> list[TraceLog]:
+    """The fixed four-process mix the schedule digests are pinned on
+    (also replayed by the fleet interleaver's compatibility tests)."""
+    return [
+        _log("a", 37, stride=7),
+        _log("b", 11, stride=13),
+        _log("c", 53, stride=5),
+        _log("d", 23, stride=11),
+    ]
+
+
+#: sha256 over the "process:global_time;" stream of
+#: ``interleave_logs(golden_logs(), schedule, seed=9, quantum=5)``.
+#: These freeze the schedule semantics: any reordering — however
+#: plausible — changes every multi-process table, so it must show up
+#: here first.  The fleet interleaver must reproduce the same stream.
+GOLDEN_SCHEDULE_DIGESTS = {
+    "round-robin": (
+        "aa41c643f05b62b5aac3903afcb8f57cf73b073ee9b2aa9d4779cc8e0ac38aa0"
+    ),
+    "random": (
+        "0d672240395be74fa6687dd35d34dc67929e94c262769cbe1180d607412a8dfd"
+    ),
+}
+
+
+def schedule_digest(stream) -> str:
+    """Digest of a (process, global_time) schedule stream."""
+    digest = hashlib.sha256()
+    for process, global_time in stream:
+        digest.update(f"{process}:{global_time};".encode())
+    return digest.hexdigest()
+
+
+class TestGoldenSchedule:
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    def test_schedule_semantics_are_frozen(self, schedule):
+        stream = (
+            (s.process, s.global_time)
+            for s in interleave_logs(
+                golden_logs(), schedule=schedule, seed=9, quantum=5
+            )
+        )
+        assert schedule_digest(stream) == GOLDEN_SCHEDULE_DIGESTS[schedule]
 
 
 class TestCompleteness:
